@@ -1,0 +1,98 @@
+// Command barrier-bench regenerates the paper's evaluation artifacts:
+// Figures 5, 6, 7, 8(a), 8(b), the Section 8 headline summary, and the
+// two ablations (direct-scheme comparison, packet halving).
+//
+// Usage:
+//
+//	barrier-bench -fig all                 # everything, quick loop
+//	barrier-bench -fig fig6 -fidelity paper
+//	barrier-bench -fig fig8a -format tsv   # plottable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nicbarrier/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run: all, "+list())
+	fidelity := flag.String("fidelity", "quick",
+		"measurement loop: quick (small iteration counts) or paper (100 warmup + 10000 iterations)")
+	format := flag.String("format", "table", "output format: table or tsv")
+	seed := flag.Uint64("seed", 1, "seed for node permutations")
+	serial := flag.Bool("serial", false, "disable the parallel sweep worker pool")
+	flag.Parse()
+
+	cfg := harness.Quick()
+	switch *fidelity {
+	case "quick":
+	case "paper":
+		cfg = harness.PaperFidelity()
+	default:
+		fatalf("unknown -fidelity %q (quick|paper)", *fidelity)
+	}
+	cfg.Seed = *seed
+	cfg.Parallel = !*serial
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = harness.Experiments()
+	}
+	for _, id := range ids {
+		out, err := render(id, cfg, *format)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(out)
+	}
+}
+
+func render(id string, cfg harness.Config, format string) (string, error) {
+	if format == "table" {
+		return harness.Run(id, cfg)
+	}
+	if format != "tsv" {
+		return "", fmt.Errorf("unknown -format %q (table|tsv)", format)
+	}
+	switch id {
+	case "fig5":
+		return harness.Fig5(cfg).TSV(), nil
+	case "fig6":
+		return harness.Fig6(cfg).TSV(), nil
+	case "fig7":
+		return harness.Fig7(cfg).TSV(), nil
+	case "fig8a":
+		return harness.Fig8a(cfg).TSV(), nil
+	case "fig8b":
+		return harness.Fig8b(cfg).TSV(), nil
+	case "ablation":
+		return harness.Ablation(cfg).TSV(), nil
+	case "packets":
+		return harness.Packets(cfg).TSV(), nil
+	case "skew":
+		return harness.Skew(cfg).TSV(), nil
+	case "summary":
+		return harness.Summary(cfg).Render(), nil // no TSV form
+	default:
+		return "", fmt.Errorf("unknown experiment %q (have %s)", id, list())
+	}
+}
+
+func list() string {
+	s := ""
+	for i, id := range harness.Experiments() {
+		if i > 0 {
+			s += ", "
+		}
+		s += id
+	}
+	return s
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "barrier-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

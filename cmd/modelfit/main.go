@@ -1,0 +1,64 @@
+// Command modelfit reproduces the paper's Section 8.3 analysis: it
+// measures the NIC-based dissemination barrier at power-of-two sizes,
+// fits the analytical model
+//
+//	T = Tinit + (ceil(log2 N)-1)*Ttrig + Tadj
+//
+// and prints the fitted equation next to the paper's published one,
+// with predictions up to 1024 nodes (Fig. 8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nicbarrier"
+)
+
+func main() {
+	net := flag.String("net", "quadrics", "interconnect: xp or quadrics")
+	maxNodes := flag.Int("max", 1024, "largest cluster size to measure")
+	fidelity := flag.String("fidelity", "quick", "quick or paper")
+	flag.Parse()
+
+	var ic nicbarrier.Interconnect
+	switch *net {
+	case "xp":
+		ic = nicbarrier.MyrinetLANaiXP
+	case "quadrics":
+		ic = nicbarrier.QuadricsElan3
+	default:
+		fmt.Fprintf(os.Stderr, "modelfit: unknown -net %q (xp|quadrics)\n", *net)
+		os.Exit(1)
+	}
+	f := nicbarrier.Quick
+	if *fidelity == "paper" {
+		f = nicbarrier.PaperFidelity
+	}
+
+	fitted, err := nicbarrier.FitScalabilityModel(ic, *maxNodes, f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modelfit: %v\n", err)
+		os.Exit(1)
+	}
+	paper, hasPaper := nicbarrier.PaperModel(ic)
+
+	fmt.Printf("scalability model for %s (measured up to %d nodes)\n", ic, *maxNodes)
+	fmt.Printf("  fitted: %s\n", fitted.Equation)
+	if hasPaper {
+		fmt.Printf("  paper:  %s\n", paper.Equation)
+	}
+	fmt.Printf("\n%8s %12s", "N", "fitted(us)")
+	if hasPaper {
+		fmt.Printf(" %12s", "paper(us)")
+	}
+	fmt.Println()
+	for n := 2; n <= 1024; n *= 2 {
+		fmt.Printf("%8d %12.2f", n, fitted.Predict(n))
+		if hasPaper {
+			fmt.Printf(" %12.2f", paper.Predict(n))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,109 @@
+// Command nicsim runs one configured barrier or broadcast measurement on
+// a simulated cluster and prints full statistics — the exploratory
+// companion to barrier-bench's fixed experiment suite.
+//
+// Examples:
+//
+//	nicsim -net xp -nodes 8 -scheme collective -alg DS
+//	nicsim -net quadrics -nodes 8 -scheme hw
+//	nicsim -net lanai91 -nodes 16 -scheme host -alg PE -iters 10000
+//	nicsim -net xp -nodes 8 -scheme collective -loss 0.02
+//	nicsim -net xp -nodes 16 -broadcast -root 0 -degree 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nicbarrier"
+)
+
+func main() {
+	net := flag.String("net", "xp", "interconnect: xp (Myrinet LANai-XP), lanai91 (Myrinet LANai 9.1), quadrics (Elan3)")
+	nodes := flag.Int("nodes", 8, "number of participating nodes")
+	scheme := flag.String("scheme", "collective", "barrier scheme: host, direct, collective, hw")
+	alg := flag.String("alg", "DS", "barrier algorithm: DS, PE, GB")
+	degree := flag.Int("degree", 0, "gather-broadcast/broadcast tree degree (0: default 4)")
+	loss := flag.Float64("loss", 0, "random packet loss rate (Myrinet only)")
+	warmup := flag.Int("warmup", 100, "warmup iterations")
+	iters := flag.Int("iters", 1000, "measured iterations")
+	seed := flag.Uint64("seed", 1, "permutation/loss seed")
+	permute := flag.Bool("permute", true, "randomly permute node placement")
+	broadcast := flag.Bool("broadcast", false, "run the NIC-based broadcast extension instead of a barrier")
+	root := flag.Int("root", 0, "broadcast root rank")
+	flag.Parse()
+
+	cfg := nicbarrier.Config{
+		Nodes:      *nodes,
+		TreeDegree: *degree,
+		LossRate:   *loss,
+		Seed:       *seed,
+		Permute:    *permute,
+	}
+	switch *net {
+	case "xp":
+		cfg.Interconnect = nicbarrier.MyrinetLANaiXP
+	case "lanai91":
+		cfg.Interconnect = nicbarrier.MyrinetLANai91
+	case "quadrics":
+		cfg.Interconnect = nicbarrier.QuadricsElan3
+	default:
+		fatalf("unknown -net %q", *net)
+	}
+	switch *scheme {
+	case "host":
+		cfg.Scheme = nicbarrier.HostBased
+	case "direct":
+		cfg.Scheme = nicbarrier.NICDirect
+	case "collective":
+		cfg.Scheme = nicbarrier.NICCollective
+	case "hw":
+		cfg.Scheme = nicbarrier.HardwareBroadcast
+	default:
+		fatalf("unknown -scheme %q", *scheme)
+	}
+	switch *alg {
+	case "DS", "ds":
+		cfg.Algorithm = nicbarrier.Dissemination
+	case "PE", "pe":
+		cfg.Algorithm = nicbarrier.PairwiseExchange
+	case "GB", "gb":
+		cfg.Algorithm = nicbarrier.GatherBroadcast
+	default:
+		fatalf("unknown -alg %q", *alg)
+	}
+
+	var res nicbarrier.Result
+	var err error
+	kind := "barrier"
+	if *broadcast {
+		kind = "broadcast"
+		d := *degree
+		if d == 0 {
+			d = 4
+		}
+		res, err = nicbarrier.MeasureBroadcast(cfg, *root, d, *warmup, *iters)
+	} else {
+		res, err = nicbarrier.MeasureBarrier(cfg, *warmup, *iters)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("%s on %s, %d nodes, scheme=%s alg=%s\n",
+		kind, cfg.Interconnect, cfg.Nodes, cfg.Scheme, cfg.Algorithm)
+	fmt.Printf("  iterations        %d (after %d warmup)\n", res.Iterations, *warmup)
+	fmt.Printf("  latency mean      %8.2f us\n", res.MeanMicros)
+	fmt.Printf("  latency min/max   %8.2f / %.2f us\n", res.MinMicros, res.MaxMicros)
+	fmt.Printf("  latency stddev    %8.2f us\n", res.StdMicros)
+	fmt.Printf("  packets/operation %8.2f\n", res.PacketsPerBarrier)
+	if *loss > 0 {
+		fmt.Printf("  retransmissions   %8d (loss rate %.1f%%)\n", res.Retransmissions, *loss*100)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nicsim: "+format+"\n", args...)
+	os.Exit(1)
+}

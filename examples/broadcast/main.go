@@ -1,0 +1,45 @@
+// NIC-based broadcast (the extension from the paper's future work,
+// following Yu et al.'s NIC-based multicast): a root's notification fans
+// down a d-ary tree entirely on the NICs, using the same collective
+// protocol machinery as the barrier — group queue, static packet,
+// bit-vector record, receiver-driven NACK.
+//
+// The example sweeps the tree degree to expose the classic fan-out
+// trade-off: deep trees pay store-and-forward hops, wide trees serialize
+// at the root's NIC.
+//
+//	go run ./examples/broadcast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nicbarrier"
+)
+
+func main() {
+	const nodes = 16
+	cfg := nicbarrier.Config{
+		Interconnect: nicbarrier.MyrinetLANaiXP,
+		Nodes:        nodes,
+	}
+
+	fmt.Printf("NIC-based broadcast over %d Myrinet LANai-XP nodes\n", nodes)
+	fmt.Printf("%8s %14s %18s\n", "degree", "latency (us)", "packets/broadcast")
+	best, bestDeg := 1e18, 0
+	for _, degree := range []int{2, 3, 4, 8, 15} {
+		res, err := nicbarrier.MeasureBroadcast(cfg, 0, degree, 10, 200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.MeanMicros < best {
+			best, bestDeg = res.MeanMicros, degree
+		}
+		fmt.Printf("%8d %14.2f %18.1f\n", degree, res.MeanMicros, res.PacketsPerBarrier)
+	}
+	fmt.Printf("\nbest degree: %d (%.2fus). Degree 15 is a flat fan-out where the root's\n", bestDeg, best)
+	fmt.Println("NIC fires 15 sends back to back; degree 2 pays four store-and-forward")
+	fmt.Println("levels. The sweet spot balances the two — the same trade-off real")
+	fmt.Println("NIC-multicast implementations tune.")
+}

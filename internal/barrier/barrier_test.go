@@ -1,0 +1,294 @@
+package barrier
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlgorithmString(t *testing.T) {
+	cases := map[Algorithm]string{
+		Dissemination:    "DS",
+		PairwiseExchange: "PE",
+		GatherBroadcast:  "GB",
+		Algorithm(99):    "Algorithm(99)",
+	}
+	for alg, want := range cases {
+		if got := alg.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(alg), got, want)
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for s, want := range map[string]Algorithm{
+		"DS": Dissemination, "dissemination": Dissemination,
+		"PE": PairwiseExchange, "pairwise": PairwiseExchange,
+		"GB": GatherBroadcast, "tree": GatherBroadcast,
+	} {
+		got, err := ParseAlgorithm(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil {
+		t.Error("ParseAlgorithm accepted garbage")
+	}
+}
+
+func TestLogHelpers(t *testing.T) {
+	cases := []struct{ n, ceil, floor int }{
+		{1, 0, 0}, {2, 1, 1}, {3, 2, 1}, {4, 2, 2}, {5, 3, 2},
+		{7, 3, 2}, {8, 3, 3}, {9, 4, 3}, {1023, 10, 9}, {1024, 10, 10},
+	}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.ceil {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c.n, got, c.ceil)
+		}
+		if got := Log2Floor(c.n); got != c.floor {
+			t.Errorf("Log2Floor(%d) = %d, want %d", c.n, got, c.floor)
+		}
+	}
+	if !IsPowerOfTwo(8) || IsPowerOfTwo(6) || IsPowerOfTwo(0) {
+		t.Error("IsPowerOfTwo misbehaves")
+	}
+}
+
+// Step counts must match the paper's Section 5 formulas.
+func TestCriticalStepsFormulas(t *testing.T) {
+	for n := 2; n <= 64; n++ {
+		if got, want := CriticalSteps(Dissemination, n, Options{}), Log2Ceil(n); got != want {
+			t.Errorf("DS steps(%d) = %d, want ⌈log2⌉ = %d", n, got, want)
+		}
+		wantPE := Log2Floor(n)
+		if !IsPowerOfTwo(n) {
+			wantPE += 2
+		}
+		if got := CriticalSteps(PairwiseExchange, n, Options{}); got != wantPE {
+			t.Errorf("PE steps(%d) = %d, want %d", n, got, wantPE)
+		}
+	}
+	// GB with degree d: 2·⌈log_d N⌉.
+	if got := CriticalSteps(GatherBroadcast, 16, Options{TreeDegree: 2}); got != 8 {
+		t.Errorf("GB d=2 steps(16) = %d, want 8", got)
+	}
+	if got := CriticalSteps(GatherBroadcast, 16, Options{TreeDegree: 4}); got != 4 {
+		t.Errorf("GB d=4 steps(16) = %d, want 4", got)
+	}
+	if got := CriticalSteps(Dissemination, 1, Options{}); got != 0 {
+		t.Errorf("steps(1) = %d", got)
+	}
+}
+
+// Per-rank schedule lengths: dissemination is uniform; PE varies only for
+// non-power-of-two groups.
+func TestScheduleShapes(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6, 8, 12, 16} {
+		for r := 0; r < n; r++ {
+			ds := New(Dissemination, n, r, Options{})
+			if len(ds.Steps) != Log2Ceil(n) {
+				t.Errorf("DS n=%d rank=%d: %d steps", n, r, len(ds.Steps))
+			}
+			for _, st := range ds.Steps {
+				if len(st.Send) != 1 || len(st.Wait) != 1 {
+					t.Errorf("DS n=%d rank=%d: step %+v", n, r, st)
+				}
+			}
+		}
+	}
+	// PE power of two: every step is a symmetric exchange.
+	pe := New(PairwiseExchange, 8, 3, Options{})
+	if len(pe.Steps) != 3 {
+		t.Fatalf("PE n=8: %d steps", len(pe.Steps))
+	}
+	for _, st := range pe.Steps {
+		if len(st.Send) != 1 || len(st.Wait) != 1 || st.Send[0] != st.Wait[0] {
+			t.Errorf("PE pow2 step not an exchange: %+v", st)
+		}
+	}
+	// PE n=6: ranks 4,5 are extras with exactly one send and one wait.
+	for r := 4; r <= 5; r++ {
+		s := New(PairwiseExchange, 6, r, Options{})
+		if s.TotalSends() != 1 || len(s.ExpectedArrivals()) != 1 {
+			t.Errorf("PE extra rank %d: sends=%d arrivals=%d",
+				r, s.TotalSends(), len(s.ExpectedArrivals()))
+		}
+		if s.Steps[0].Send[0] != r-4 {
+			t.Errorf("PE extra rank %d announces to %d", r, s.Steps[0].Send[0])
+		}
+	}
+}
+
+func TestGatherBroadcastTreeShape(t *testing.T) {
+	// n=13, d=4: rank 0 has children 1..4; rank 1 has children 5..8;
+	// rank 2 has 9..12; ranks 3..12 are leaves.
+	opts := Options{TreeDegree: 4}
+	root := New(GatherBroadcast, 13, 0, opts)
+	if len(root.Steps) != 2 {
+		t.Fatalf("root steps = %d", len(root.Steps))
+	}
+	if got := root.Steps[0].Wait; len(got) != 4 {
+		t.Fatalf("root waits on %v", got)
+	}
+	interior := New(GatherBroadcast, 13, 1, opts)
+	if len(interior.Steps) != 3 {
+		t.Fatalf("interior steps = %d", len(interior.Steps))
+	}
+	leaf := New(GatherBroadcast, 13, 12, opts)
+	if len(leaf.Steps) != 1 || leaf.Steps[0].Send[0] != 2 || leaf.Steps[0].Wait[0] != 2 {
+		t.Fatalf("leaf schedule %+v", leaf.Steps)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0":        func() { New(Dissemination, 0, 0, Options{}) },
+		"rank range": func() { New(Dissemination, 4, 4, Options{}) },
+		"neg rank":   func() { New(Dissemination, 4, -1, Options{}) },
+		"bad alg":    func() { New(Algorithm(9), 4, 0, Options{}) },
+		"degree 1":   func() { New(GatherBroadcast, 4, 0, Options{TreeDegree: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSingletonGroup(t *testing.T) {
+	for _, alg := range []Algorithm{Dissemination, PairwiseExchange, GatherBroadcast} {
+		s := New(alg, 1, 0, Options{})
+		if len(s.Steps) != 0 {
+			t.Errorf("%v n=1 has %d steps", alg, len(s.Steps))
+		}
+		if err := Verify(alg, 1, Options{}); err != nil {
+			t.Errorf("%v n=1: %v", alg, err)
+		}
+	}
+}
+
+// The paper's key structural fact: each ordered (sender, receiver) pair
+// appears at most once per barrier, for every algorithm and group size.
+func TestNoDuplicatePairs(t *testing.T) {
+	for _, alg := range []Algorithm{Dissemination, PairwiseExchange, GatherBroadcast} {
+		for n := 2; n <= 70; n++ {
+			pairs := map[[2]int]bool{}
+			for _, s := range All(alg, n, Options{}) {
+				for _, st := range s.Steps {
+					for _, dst := range st.Send {
+						key := [2]int{s.Rank, dst}
+						if pairs[key] {
+							t.Fatalf("%v n=%d: duplicate send %d->%d", alg, n, s.Rank, dst)
+						}
+						pairs[key] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// Sends and waits must be mirror images across the whole group, or
+// notifications would be lost or spuriously expected.
+func TestSendWaitSymmetry(t *testing.T) {
+	for _, alg := range []Algorithm{Dissemination, PairwiseExchange, GatherBroadcast} {
+		for _, n := range []int{2, 3, 5, 8, 13, 16, 31, 64} {
+			sends := map[[2]int]int{}
+			waits := map[[2]int]int{}
+			for _, s := range All(alg, n, Options{}) {
+				for _, st := range s.Steps {
+					for _, dst := range st.Send {
+						sends[[2]int{s.Rank, dst}]++
+					}
+					for _, src := range st.Wait {
+						waits[[2]int{src, s.Rank}]++
+					}
+				}
+			}
+			if len(sends) != len(waits) {
+				t.Fatalf("%v n=%d: %d sends vs %d waits", alg, n, len(sends), len(waits))
+			}
+			for k, v := range sends {
+				if waits[k] != v {
+					t.Fatalf("%v n=%d: pair %v sent %d times, awaited %d",
+						alg, n, k, v, waits[k])
+				}
+			}
+		}
+	}
+}
+
+// Full correctness (progress + synchronization) over a dense range of
+// sizes for all three algorithms.
+func TestVerifyAllAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{Dissemination, PairwiseExchange, GatherBroadcast} {
+		for n := 1; n <= 80; n++ {
+			if err := Verify(alg, n, Options{}); err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+		}
+		// Spot-check large and awkward sizes, including the paper's 1024.
+		for _, n := range []int{127, 128, 129, 1000, 1024} {
+			if err := Verify(alg, n, Options{}); err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+		}
+	}
+}
+
+// Property: any (algorithm, size, degree) triple verifies.
+func TestVerifyProperty(t *testing.T) {
+	f := func(algRaw, nRaw, dRaw uint8) bool {
+		alg := Algorithm(int(algRaw) % 3)
+		n := int(nRaw)%96 + 1
+		opts := Options{TreeDegree: int(dRaw)%6 + 2}
+		return Verify(alg, n, opts) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The verifier must actually catch broken schedules.
+func TestVerifyCatchesBrokenSchedules(t *testing.T) {
+	// Drop one rank's sends entirely: peers deadlock.
+	scheds := All(Dissemination, 8, Options{})
+	for i := range scheds[3].Steps {
+		scheds[3].Steps[i].Send = nil
+	}
+	if err := VerifySchedules(scheds); err == nil {
+		t.Fatal("verifier accepted schedule with dropped sends")
+	}
+
+	// A "barrier" where nobody waits: completes but without knowledge.
+	free := All(Dissemination, 4, Options{})
+	for r := range free {
+		for i := range free[r].Steps {
+			free[r].Steps[i].Wait = nil
+		}
+	}
+	if err := VerifySchedules(free); err == nil {
+		t.Fatal("verifier accepted barrier with no synchronization")
+	}
+}
+
+func TestExpectedArrivalsAndTotalSends(t *testing.T) {
+	s := New(Dissemination, 8, 0, Options{})
+	arr := s.ExpectedArrivals()
+	if len(arr) != 3 {
+		t.Fatalf("arrivals = %v", arr)
+	}
+	// Rank 0 waits for ranks 7 (step 0), 6 (step 1), 4 (step 2).
+	want := []int{7, 6, 4}
+	for i, w := range want {
+		if arr[i] != w {
+			t.Fatalf("arrivals = %v, want %v", arr, want)
+		}
+	}
+	if s.TotalSends() != 3 {
+		t.Fatalf("total sends = %d", s.TotalSends())
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"nicbarrier/internal/barrier"
+)
+
+// GroupID names a process group. Group 0 is conventionally "all ranks",
+// mirroring MPI_COMM_WORLD.
+type GroupID int
+
+// Group is one rank's view of a process group, as installed into a NIC's
+// group table. Nodes[r] is the network address (host index) of rank r.
+type Group struct {
+	ID     GroupID
+	Nodes  []int
+	MyRank int
+
+	rankOf map[int]int
+}
+
+// NewGroup builds a group view. Nodes must be distinct; MyRank must be in
+// range.
+func NewGroup(id GroupID, nodes []int, myRank int) *Group {
+	if myRank < 0 || myRank >= len(nodes) {
+		panic(fmt.Sprintf("core: rank %d outside group of %d", myRank, len(nodes)))
+	}
+	g := &Group{
+		ID:     id,
+		Nodes:  append([]int(nil), nodes...),
+		MyRank: myRank,
+		rankOf: make(map[int]int, len(nodes)),
+	}
+	for r, node := range nodes {
+		if _, dup := g.rankOf[node]; dup {
+			panic(fmt.Sprintf("core: node %d appears twice in group %d", node, id))
+		}
+		g.rankOf[node] = r
+	}
+	return g
+}
+
+// Size reports the number of ranks.
+func (g *Group) Size() int { return len(g.Nodes) }
+
+// NodeOf maps a rank to its network address.
+func (g *Group) NodeOf(rank int) int {
+	if rank < 0 || rank >= len(g.Nodes) {
+		panic(fmt.Sprintf("core: rank %d outside group of %d", rank, len(g.Nodes)))
+	}
+	return g.Nodes[rank]
+}
+
+// RankOf maps a network address back to its rank, with ok=false for
+// non-members.
+func (g *Group) RankOf(node int) (int, bool) {
+	r, ok := g.rankOf[node]
+	return r, ok
+}
+
+// GroupTable is the NIC-resident registry of groups, the anchor of the
+// protocol's "separate queue for a particular process group".
+type GroupTable struct {
+	groups map[GroupID]*Group
+}
+
+// NewGroupTable returns an empty table.
+func NewGroupTable() *GroupTable {
+	return &GroupTable{groups: make(map[GroupID]*Group)}
+}
+
+// Install registers a group; reinstalling an ID panics (group membership
+// is immutable in the protocol; build a new group instead).
+func (t *GroupTable) Install(g *Group) {
+	if _, dup := t.groups[g.ID]; dup {
+		panic(fmt.Sprintf("core: group %d already installed", g.ID))
+	}
+	t.groups[g.ID] = g
+}
+
+// Lookup finds a group by ID.
+func (t *GroupTable) Lookup(id GroupID) (*Group, bool) {
+	g, ok := t.groups[id]
+	return g, ok
+}
+
+// Len reports the number of installed groups.
+func (t *GroupTable) Len() int { return len(t.groups) }
+
+// ScheduleFor builds this rank's schedule for algorithm alg over group g.
+func ScheduleFor(g *Group, alg barrier.Algorithm, opts barrier.Options) barrier.Schedule {
+	return barrier.New(alg, g.Size(), g.MyRank, opts)
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"nicbarrier/internal/barrier"
+)
+
+func TestGroupMapping(t *testing.T) {
+	g := NewGroup(1, []int{5, 2, 9, 0}, 2)
+	if g.Size() != 4 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	if g.NodeOf(2) != 9 || g.NodeOf(0) != 5 {
+		t.Fatal("NodeOf wrong")
+	}
+	if r, ok := g.RankOf(0); !ok || r != 3 {
+		t.Fatalf("RankOf(0) = %d, %v", r, ok)
+	}
+	if _, ok := g.RankOf(7); ok {
+		t.Fatal("RankOf accepted non-member")
+	}
+}
+
+func TestGroupGuards(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dup node":   func() { NewGroup(0, []int{1, 1}, 0) },
+		"rank range": func() { NewGroup(0, []int{1, 2}, 2) },
+		"nodeof oob": func() { NewGroup(0, []int{1, 2}, 0).NodeOf(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGroupTable(t *testing.T) {
+	tbl := NewGroupTable()
+	g := NewGroup(3, []int{0, 1}, 0)
+	tbl.Install(g)
+	if tbl.Len() != 1 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+	got, ok := tbl.Lookup(3)
+	if !ok || got != g {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := tbl.Lookup(4); ok {
+		t.Fatal("Lookup found phantom group")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("double install did not panic")
+		}
+	}()
+	tbl.Install(NewGroup(3, []int{2, 3}, 0))
+}
+
+func TestScheduleFor(t *testing.T) {
+	g := NewGroup(0, []int{10, 11, 12, 13, 14, 15, 16, 17}, 5)
+	s := ScheduleFor(g, barrier.Dissemination, barrier.Options{})
+	if s.N != 8 || s.Rank != 5 || len(s.Steps) != 3 {
+		t.Fatalf("schedule %+v", s)
+	}
+}
+
+func TestGroupNodesIsolated(t *testing.T) {
+	nodes := []int{0, 1, 2}
+	g := NewGroup(0, nodes, 0)
+	nodes[0] = 99
+	if g.NodeOf(0) != 0 {
+		t.Fatal("group aliases caller's slice")
+	}
+}

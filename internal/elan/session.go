@@ -1,0 +1,235 @@
+package elan
+
+import (
+	"fmt"
+
+	"nicbarrier/internal/barrier"
+	"nicbarrier/internal/core"
+	"nicbarrier/internal/sim"
+)
+
+// Scheme selects a Quadrics barrier implementation.
+type Scheme int
+
+// The barrier implementations of Fig. 7.
+const (
+	// SchemeChained is the paper's NIC-based barrier: chained RDMA
+	// descriptors, each triggered by a remote event.
+	SchemeChained Scheme = iota
+	// SchemeGsync is Elanlib's tree-based elan_gsync() (host-driven
+	// gather-broadcast, hardware broadcast disabled).
+	SchemeGsync
+	// SchemeHW is elan_hgsync()'s hardware-broadcast barrier.
+	SchemeHW
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeChained:
+		return "nic-chained-rdma"
+	case SchemeGsync:
+		return "elan-gsync"
+	case SchemeHW:
+		return "elan-hw"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// SessionGroupID is the group ID sessions install.
+const SessionGroupID = 1
+
+// Session runs consecutive barriers over a subset of an Elan cluster.
+type Session struct {
+	cl      *Cluster
+	nodeIDs []int
+	scheme  Scheme
+
+	members []*member
+	iters   int
+	doneAt  []sim.Time
+	pending []int
+}
+
+type member struct {
+	s     *Session
+	rank  int
+	node  *Node
+	group *core.Group
+	// hostOp drives the gsync tree from the host; nil otherwise.
+	hostOp *core.OpState
+	// hwSeq tracks hardware-barrier rounds for this member.
+	hwSeq int
+}
+
+// NewSession prepares a barrier session over nodeIDs (rank order; the
+// harness passes a random permutation). alg/opts select the schedule for
+// SchemeChained; SchemeGsync always uses the gather-broadcast tree (that
+// is what elan_gsync is) and SchemeHW uses none.
+func NewSession(cl *Cluster, nodeIDs []int, scheme Scheme, alg barrier.Algorithm, opts barrier.Options) *Session {
+	if len(nodeIDs) == 0 {
+		panic("elan: empty session")
+	}
+	s := &Session{cl: cl, nodeIDs: append([]int(nil), nodeIDs...), scheme: scheme}
+	if scheme == SchemeHW {
+		cl.hw.configure(s.nodeIDs)
+	}
+	for rank, id := range s.nodeIDs {
+		if id < 0 || id >= len(cl.Nodes) {
+			panic(fmt.Sprintf("elan: node %d outside cluster of %d", id, len(cl.Nodes)))
+		}
+		m := &member{
+			s:     s,
+			rank:  rank,
+			node:  cl.Nodes[id],
+			group: core.NewGroup(SessionGroupID, s.nodeIDs, rank),
+		}
+		switch scheme {
+		case SchemeChained:
+			sched := barrier.New(alg, len(nodeIDs), rank, opts)
+			m.node.NIC.ArmChain(m.group, core.NewOpState(sched))
+		case SchemeGsync:
+			sched := barrier.New(barrier.GatherBroadcast, len(nodeIDs), rank, opts)
+			m.hostOp = core.NewOpState(sched)
+		case SchemeHW:
+			// No schedule: one network transaction synchronizes all.
+		default:
+			panic(fmt.Sprintf("elan: unknown scheme %d", int(scheme)))
+		}
+		m.node.Host.OnEvent = m.onEvent
+		s.members = append(s.members, m)
+	}
+	return s
+}
+
+// Run executes iters consecutive barriers, returning the completion time
+// of each iteration.
+func (s *Session) Run(iters int) []sim.Time {
+	if iters < 1 {
+		panic(fmt.Sprintf("elan: iterations %d", iters))
+	}
+	s.iters = iters
+	s.doneAt = make([]sim.Time, iters)
+	s.pending = make([]int, iters)
+	for i := range s.pending {
+		s.pending[i] = len(s.members)
+	}
+	for _, m := range s.members {
+		m.start(0)
+	}
+	finished := func() bool { return s.pending[iters-1] == 0 }
+	if !s.cl.Eng.RunCondition(finished) {
+		panic(fmt.Sprintf("elan: %s barrier deadlocked (%d nodes, pending %v)",
+			s.scheme, len(s.members), s.pending))
+	}
+	return s.doneAt
+}
+
+// MeanLatency mirrors the paper's methodology: warmup iterations followed
+// by averaged measured iterations.
+func (s *Session) MeanLatency(warmup, iters int) sim.Duration {
+	doneAt := s.Run(warmup + iters)
+	var start sim.Time
+	if warmup > 0 {
+		start = doneAt[warmup-1]
+	}
+	return doneAt[warmup+iters-1].Sub(start) / sim.Duration(iters)
+}
+
+// RunSkewed runs a single barrier whose members enter with the given
+// per-rank offsets and reports the time from the LAST entry to global
+// completion — the cost visible to the last process, which is what an
+// application's critical path sees. The paper's point about elan_hgsync
+// ("it requires that the involving processes be well synchronized...
+// hardly the case for parallel programs over large size clusters") shows
+// up here as test-and-set retries once the skew exceeds the sync window,
+// while the NIC-based barrier simply buffers early notifications.
+func (s *Session) RunSkewed(skew []sim.Duration) sim.Duration {
+	if len(skew) != len(s.members) {
+		panic(fmt.Sprintf("elan: %d offsets for %d members", len(skew), len(s.members)))
+	}
+	s.iters = 1
+	s.doneAt = make([]sim.Time, 1)
+	s.pending = []int{len(s.members)}
+	var last sim.Time
+	for i, m := range s.members {
+		m := m
+		if at := sim.Time(0).Add(skew[i]); at > last {
+			last = at
+		}
+		s.cl.Eng.After(skew[i], func() { m.start(0) })
+	}
+	if !s.cl.Eng.RunCondition(func() bool { return s.pending[0] == 0 }) {
+		panic(fmt.Sprintf("elan: skewed %s barrier deadlocked", s.scheme))
+	}
+	return s.doneAt[0].Sub(last)
+}
+
+func (s *Session) complete(rank, seq int) {
+	if seq >= s.iters {
+		panic(fmt.Sprintf("elan: completion for iteration %d beyond %d", seq, s.iters))
+	}
+	s.pending[seq]--
+	if s.pending[seq] < 0 {
+		panic(fmt.Sprintf("elan: double completion of iteration %d by rank %d", seq, rank))
+	}
+	if s.pending[seq] == 0 {
+		s.doneAt[seq] = s.cl.Eng.Now()
+	}
+	if next := seq + 1; next < s.iters {
+		s.members[rank].start(next)
+	}
+}
+
+func (m *member) start(seq int) {
+	switch m.s.scheme {
+	case SchemeChained:
+		m.node.Host.TriggerChain(SessionGroupID)
+	case SchemeHW:
+		m.node.Host.PostHWBarrier()
+	case SchemeGsync:
+		sends, done, err := m.hostOp.Start(seq)
+		if err != nil {
+			panic(fmt.Sprintf("elan: rank %d: %v", m.rank, err))
+		}
+		m.gsyncSend(seq, sends)
+		if done {
+			m.s.complete(m.rank, seq)
+		}
+	}
+}
+
+func (m *member) gsyncSend(seq int, ranks []int) {
+	for _, r := range ranks {
+		m.node.Host.SendRemoteEvent(m.group.NodeOf(r), SessionGroupID, seq)
+	}
+}
+
+func (m *member) onEvent(ev Event) {
+	switch ev.Kind {
+	case EvBarrierDone:
+		m.s.complete(m.rank, ev.Seq)
+	case EvHWBarrier:
+		seq := m.hwSeq
+		m.hwSeq++
+		m.s.complete(m.rank, seq)
+	case EvRemote:
+		fromRank, ok := m.group.RankOf(ev.FromNode)
+		if !ok {
+			panic(fmt.Sprintf("elan: gsync event from non-member node %d", ev.FromNode))
+		}
+		// Elanlib's tree bookkeeping is heavier than the bare poll
+		// already charged by event delivery.
+		m.node.Host.Compute(m.node.Prof.GsyncPollExtraCycles, func() {
+			sends, done, err := m.hostOp.Arrive(ev.Seq, fromRank)
+			if err != nil {
+				panic(fmt.Sprintf("elan: rank %d: %v", m.rank, err))
+			}
+			m.gsyncSend(m.hostOp.Seq(), sends)
+			if done {
+				m.s.complete(m.rank, m.hostOp.Seq())
+			}
+		})
+	}
+}

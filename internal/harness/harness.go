@@ -1,0 +1,275 @@
+// Package harness defines and runs the paper's experiments: one
+// constructor per figure (Figs. 5-8), the Section-8 headline summary
+// table, and the two ablations the paper argues from (direct-scheme
+// comparison and packet-count halving). Each experiment builds fresh
+// simulated clusters per data point, runs the paper's measurement loop
+// (warmup + averaged consecutive barriers, random node permutation), and
+// renders results as aligned tables or TSV for plotting.
+//
+// Data points are independent simulations, so sweeps fan out over a
+// bounded pool of goroutines — the one place this repository uses real
+// parallelism — while staying bit-deterministic for a given seed.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"nicbarrier/internal/sim"
+)
+
+// Config controls the measurement loop.
+type Config struct {
+	// Warmup iterations are run and discarded; Iters are averaged.
+	Warmup, Iters int
+	// Seed drives node permutations (and nothing else; the simulators
+	// are deterministic).
+	Seed uint64
+	// Permute randomizes node placement per point, as the paper does.
+	Permute bool
+	// Parallel fans data points out over a worker pool.
+	Parallel bool
+}
+
+// Quick is the configuration used by tests and the default CLI: small
+// iteration counts, identical shapes.
+func Quick() Config {
+	return Config{Warmup: 5, Iters: 60, Seed: 1, Permute: true, Parallel: true}
+}
+
+// PaperFidelity matches the paper's loop: 100 warmup iterations and
+// 10,000 measured iterations (scaled down automatically for very large
+// simulated clusters).
+func PaperFidelity() Config {
+	return Config{Warmup: 100, Iters: 10000, Seed: 1, Permute: true, Parallel: true}
+}
+
+// itersFor caps the iteration count for big clusters so 1024-node sweeps
+// stay tractable; latencies converge within a handful of iterations
+// because the simulators are deterministic.
+func (c Config) itersFor(n int) (warmup, iters int) {
+	warmup, iters = c.Warmup, c.Iters
+	if n > 64 {
+		scale := n / 64
+		if warmup > 20 {
+			warmup = 20
+		}
+		iters = max(8, iters/scale)
+	}
+	return warmup, iters
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Point is one (cluster size, latency) measurement.
+type Point struct {
+	N         int
+	LatencyUS float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Measure produces the latency (in microseconds) for one cluster size.
+type Measure func(n int) float64
+
+// sweep evaluates fn over ns, optionally in parallel. Results keep the
+// order of ns.
+func sweep(cfg Config, name string, ns []int, fn Measure) Series {
+	pts := make([]Point, len(ns))
+	if !cfg.Parallel {
+		for i, n := range ns {
+			pts[i] = Point{N: n, LatencyUS: fn(n)}
+		}
+		return Series{Name: name, Points: pts}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ns) {
+		workers = len(ns)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				pts[i] = Point{N: ns[i], LatencyUS: fn(ns[i])}
+			}
+		}()
+	}
+	for i := range ns {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return Series{Name: name, Points: pts}
+}
+
+// permutedIDs picks the node IDs for an n-rank group out of a
+// clusterSize-node cluster, randomly permuted when cfg.Permute is set.
+// The RNG is seeded per (seed, clusterSize, n, salt) so points are
+// independent and reproducible.
+func permutedIDs(cfg Config, clusterSize, n int, salt uint64) []int {
+	if n > clusterSize {
+		panic(fmt.Sprintf("harness: %d ranks on a %d-node cluster", n, clusterSize))
+	}
+	if !cfg.Permute {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	}
+	rng := sim.NewRNG(cfg.Seed ^ uint64(clusterSize)<<32 ^ uint64(n)<<16 ^ salt)
+	return rng.Perm(clusterSize)[:n]
+}
+
+// Table renders the figure as an aligned text table, one row per cluster
+// size, one column per series.
+func (f Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%s vs %s (us)\n", f.YLabel, f.XLabel)
+
+	// Collect the union of Ns, sorted.
+	set := map[int]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			set[p.N] = true
+		}
+	}
+	ns := make([]int, 0, len(set))
+	for n := range set {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+
+	fmt.Fprintf(&b, "%6s", "N")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, n := range ns {
+		fmt.Fprintf(&b, "%6d", n)
+		for _, s := range f.Series {
+			v, ok := s.value(n)
+			if !ok {
+				fmt.Fprintf(&b, " %14s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %14.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, note := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}
+
+// TSV renders the figure as tab-separated values for plotting tools.
+func (f Figure) TSV() string {
+	var b strings.Builder
+	b.WriteString("N")
+	for _, s := range f.Series {
+		b.WriteByte('\t')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	set := map[int]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			set[p.N] = true
+		}
+	}
+	ns := make([]int, 0, len(set))
+	for n := range set {
+		ns = append(ns, n)
+	}
+	sort.Ints(ns)
+	for _, n := range ns {
+		fmt.Fprintf(&b, "%d", n)
+		for _, s := range f.Series {
+			b.WriteByte('\t')
+			if v, ok := s.value(n); ok {
+				fmt.Fprintf(&b, "%.3f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (s Series) value(n int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.N == n {
+			return p.LatencyUS, true
+		}
+	}
+	return 0, false
+}
+
+// Stats summarizes per-iteration latencies of one measured run.
+type Stats struct {
+	MeanUS, MinUS, MaxUS, StdUS float64
+	Iterations                  int
+}
+
+// LatencyStats derives per-iteration statistics from the completion
+// timestamps a session run returns, discarding warmup iterations.
+func LatencyStats(doneAt []sim.Time, warmup int) Stats {
+	if warmup >= len(doneAt) {
+		panic(fmt.Sprintf("harness: warmup %d >= %d iterations", warmup, len(doneAt)))
+	}
+	var lats []float64
+	prev := sim.Time(0)
+	if warmup > 0 {
+		prev = doneAt[warmup-1]
+	}
+	for _, at := range doneAt[warmup:] {
+		lats = append(lats, at.Sub(prev).Micros())
+		prev = at
+	}
+	st := Stats{Iterations: len(lats), MinUS: math.Inf(1), MaxUS: math.Inf(-1)}
+	var sum float64
+	for _, l := range lats {
+		sum += l
+		if l < st.MinUS {
+			st.MinUS = l
+		}
+		if l > st.MaxUS {
+			st.MaxUS = l
+		}
+	}
+	st.MeanUS = sum / float64(len(lats))
+	var ss float64
+	for _, l := range lats {
+		d := l - st.MeanUS
+		ss += d * d
+	}
+	st.StdUS = math.Sqrt(ss / float64(len(lats)))
+	return st
+}

@@ -1,0 +1,108 @@
+package hwprofile
+
+import (
+	"testing"
+
+	"nicbarrier/internal/sim"
+)
+
+func TestMyrinetProfilesShareFirmware(t *testing.T) {
+	xp := LANaiXPCluster()
+	l9 := LANai91Cluster()
+	// The two testbeds run the same control program: identical handler
+	// cycle counts, different clocks. This is the core of the paper's
+	// two-cluster comparison and must never drift apart silently.
+	a, b := xp.NIC, l9.NIC
+	a.ClockMHz, b.ClockMHz = 0, 0
+	if a != b {
+		t.Fatalf("firmware cycle costs diverge between profiles:\nXP: %+v\n91: %+v", a, b)
+	}
+	if xp.NIC.ClockMHz != 225 || l9.NIC.ClockMHz != 133 {
+		t.Fatalf("NIC clocks: XP=%v 9.1=%v", xp.NIC.ClockMHz, l9.NIC.ClockMHz)
+	}
+	if xp.Host.ClockMHz != 2400 || l9.Host.ClockMHz != 700 {
+		t.Fatalf("host clocks: XP=%v 9.1=%v", xp.Host.ClockMHz, l9.Host.ClockMHz)
+	}
+}
+
+func TestMyrinetProfileSanity(t *testing.T) {
+	for _, p := range []MyrinetProfile{LANaiXPCluster(), LANai91Cluster()} {
+		if p.Name == "" {
+			t.Error("unnamed profile")
+		}
+		nic := p.NIC
+		for name, v := range map[string]int64{
+			"TokenTranslate": nic.TokenTranslate, "TokenSchedule": nic.TokenSchedule,
+			"PacketClaim": nic.PacketClaim, "PacketFill": nic.PacketFill,
+			"SendRecord": nic.SendRecord, "SeqCheck": nic.SeqCheck,
+			"RecvTokenMatch": nic.RecvTokenMatch, "AckBuild": nic.AckBuild,
+			"AckProcess": nic.AckProcess, "EventPost": nic.EventPost,
+			"TokenPost": nic.TokenPost, "CollEnqueue": nic.CollEnqueue,
+			"CollRecv": nic.CollRecv, "CollTrigger": nic.CollTrigger,
+			"CollComplete": nic.CollComplete,
+		} {
+			if v <= 0 {
+				t.Errorf("%s: %s = %d", p.Name, name, v)
+			}
+		}
+		// The collective path must be cheaper than the p2p path it
+		// replaces, per message: CollRecv+CollTrigger vs the send
+		// pipeline plus receive processing.
+		collective := nic.CollRecv + nic.CollTrigger
+		p2p := nic.TokenSchedule + nic.PacketClaim + nic.PacketFill +
+			nic.SendRecord + nic.SeqCheck + nic.RecvTokenMatch + nic.AckBuild
+		if collective >= p2p {
+			t.Errorf("%s: collective path (%d cycles) not cheaper than p2p (%d)", p.Name, collective, p2p)
+		}
+		if nic.SendPacketPool < 1 {
+			t.Errorf("%s: empty packet pool", p.Name)
+		}
+		// Recovery timeouts must exceed any realistic barrier latency
+		// (hundreds of microseconds) or they would fire spuriously.
+		if nic.RetransmitTimeout < sim.Micros(100) || nic.NackTimeout < sim.Micros(100) {
+			t.Errorf("%s: timeouts too tight: %v %v", p.Name, nic.RetransmitTimeout, nic.NackTimeout)
+		}
+		if p.Net.BandwidthMBps != 250 {
+			t.Errorf("%s: Myrinet 2000 is 2 Gb/s, got %v MB/s", p.Name, p.Net.BandwidthMBps)
+		}
+		if p.BarrierBytes <= 0 || p.BarrierBytes > p.AckBytes+8 {
+			t.Errorf("%s: barrier packet is the padded ACK packet; got %dB vs ack %dB",
+				p.Name, p.BarrierBytes, p.AckBytes)
+		}
+	}
+}
+
+func TestPCIXFasterThanPCI(t *testing.T) {
+	xp := LANaiXPCluster()
+	l9 := LANai91Cluster()
+	if xp.PCI.BandwidthMBps <= l9.PCI.BandwidthMBps {
+		t.Error("PCI-X bandwidth not above PCI")
+	}
+	if xp.PCI.PIOWrite >= l9.PCI.PIOWrite {
+		t.Error("PCI-X PIO not faster")
+	}
+}
+
+func TestQuadricsProfileSanity(t *testing.T) {
+	q := Elan3Cluster()
+	if q.FatTreeArity != 4 {
+		t.Fatalf("QsNet is a quaternary fat tree, got arity %d", q.FatTreeArity)
+	}
+	if q.NIC.ClockMHz <= 0 || q.NIC.DMADescCycles <= 0 ||
+		q.NIC.EventFireCycles <= 0 || q.NIC.ChainCycles <= 0 {
+		t.Fatalf("elan NIC params: %+v", q.NIC)
+	}
+	// Per-event Elan costs must be far below LANai firmware handler
+	// costs; that difference is why Elan absorbs hot-spot arrivals.
+	elanEvent := sim.Cycles(q.NIC.EventFireCycles, q.NIC.ClockMHz)
+	lanaiRecv := sim.Cycles(LANaiXPCluster().NIC.CollRecv, LANaiXPCluster().NIC.ClockMHz)
+	if elanEvent >= lanaiRecv {
+		t.Errorf("elan event (%v) not cheaper than LANai recv handler (%v)", elanEvent, lanaiRecv)
+	}
+	if q.NIC.HWBarrierBase <= 0 || q.NIC.HWBarrierPerLevel <= 0 {
+		t.Error("hw barrier constants unset")
+	}
+	if q.GsyncPostCycles <= q.Host.SendPostCycles {
+		t.Error("gsync host bookkeeping should exceed a bare chain trigger")
+	}
+}

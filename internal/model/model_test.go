@@ -1,0 +1,160 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperModels(t *testing.T) {
+	// The paper's own headline predictions at 1024 nodes.
+	my := PaperMyrinetXP()
+	if got := my.Predict(1024); math.Abs(got-38.94) > 0.01 {
+		t.Errorf("Myrinet model @1024 = %.2f, want 38.94", got)
+	}
+	qd := PaperQuadrics()
+	if got := qd.Predict(1024); math.Abs(got-22.13) > 0.01 {
+		t.Errorf("Quadrics model @1024 = %.2f, want 22.13", got)
+	}
+	// And at 8 nodes (2 extra steps).
+	if got := my.Predict(8); math.Abs(got-14.44) > 0.01 {
+		t.Errorf("Myrinet model @8 = %.2f, want 14.44", got)
+	}
+	if got := qd.Predict(8); math.Abs(got-5.89) > 0.01 {
+		t.Errorf("Quadrics model @8 = %.2f, want 5.89", got)
+	}
+}
+
+func TestPredictEdges(t *testing.T) {
+	m := Model{Tinit: 2, Ttrig: 3, Tadj: 1}
+	if m.Predict(1) != 0 {
+		t.Error("n=1 should cost nothing")
+	}
+	if got := m.Predict(2); got != 3 { // 2 + 0*3 + 1
+		t.Errorf("Predict(2) = %v, want 3", got)
+	}
+	// Stepwise: 5..8 share ceil(log2)=3.
+	if m.Predict(5) != m.Predict(8) {
+		t.Error("same log2 bucket should predict equal latency")
+	}
+	if m.Predict(9) <= m.Predict(8) {
+		t.Error("crossing a log2 boundary must increase latency")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Predict(0) did not panic")
+		}
+	}()
+	m.Predict(0)
+}
+
+func TestModelString(t *testing.T) {
+	if got := PaperQuadrics().String(); got != "T = 2.25 + (ceil(log2 N)-1)*2.32 - 1.00" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := PaperMyrinetXP().String(); got != "T = 3.60 + (ceil(log2 N)-1)*3.50 + 3.84" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestFitRecoversExactModel(t *testing.T) {
+	truth := Model{Tinit: 7.2, Ttrig: 3.5, Tadj: 0}
+	// Generate exact points; include n=2 so Tinit separates.
+	ns := []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = truth.Predict(n)
+	}
+	got, err := Fit(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Tinit-7.2) > 1e-9 || math.Abs(got.Ttrig-3.5) > 1e-9 || math.Abs(got.Tadj) > 1e-9 {
+		t.Fatalf("fit %+v, want %+v", got, truth)
+	}
+	if got.MaxRelativeError(ns, ys) > 1e-12 {
+		t.Fatal("nonzero error on exact fit")
+	}
+}
+
+func TestFitSeparatesTadj(t *testing.T) {
+	truth := Model{Tinit: 2.25, Ttrig: 2.32, Tadj: -1.0}
+	ns := []int{2, 4, 8, 64, 1024}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = truth.Predict(n)
+	}
+	// Perturb the n=2 point: T(2) = Tinit + Tadj = 1.25; the fit defines
+	// Tinit := measured T(2) and pushes the rest into Tadj, like the paper.
+	got, err := Fit(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Ttrig-2.32) > 1e-9 {
+		t.Fatalf("Ttrig = %v", got.Ttrig)
+	}
+	// Tinit is the measured 2-node latency: 1.25; Tadj compensates to 0.
+	if math.Abs(got.Tinit-1.25) > 1e-9 || math.Abs(got.Tadj) > 1e-9 {
+		t.Fatalf("fit %+v", got)
+	}
+	// Predictions must match the truth everywhere regardless of the
+	// Tinit/Tadj split.
+	for n := 2; n <= 1024; n *= 2 {
+		if math.Abs(got.Predict(n)-truth.Predict(n)) > 1e-9 {
+			t.Fatalf("prediction differs at %d", n)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]int{2}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Fit([]int{2, 4}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Fit([]int{1, 2}, []float64{0, 1}); err == nil {
+		t.Error("n=1 point accepted")
+	}
+	if _, err := Fit([]int{5, 6, 7, 8}, []float64{1, 1, 1, 1}); err == nil {
+		t.Error("single log2 bucket accepted")
+	}
+}
+
+// Property: fitting data generated from any model with noise-free points
+// reproduces its predictions.
+func TestFitRoundTripProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		truth := Model{
+			Tinit: 1 + float64(aRaw)/16,
+			Ttrig: 0.5 + float64(bRaw)/32,
+		}
+		ns := []int{2, 4, 8, 16, 64, 256, 1024}
+		ys := make([]float64, len(ns))
+		for i, n := range ns {
+			ys[i] = truth.Predict(n)
+		}
+		got, err := Fit(ns, ys)
+		if err != nil {
+			return false
+		}
+		for _, n := range ns {
+			if math.Abs(got.Predict(n)-truth.Predict(n)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxRelativeError(t *testing.T) {
+	m := Model{Tinit: 10, Ttrig: 0, Tadj: 0}
+	// measured 8 at n=2 (predict 10): rel err 0.25.
+	got := m.MaxRelativeError([]int{2}, []float64{8})
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("rel err = %v", got)
+	}
+}

@@ -1,0 +1,64 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"nicbarrier/internal/hwprofile"
+	"nicbarrier/internal/netsim"
+	"nicbarrier/internal/sim"
+	"nicbarrier/internal/topo"
+)
+
+// Cluster is a set of Myrinet nodes on one network.
+type Cluster struct {
+	Eng   *sim.Engine
+	Prof  hwprofile.MyrinetProfile
+	Net   *netsim.Network
+	Nodes []*Node
+}
+
+// NewCluster builds an n-node Myrinet cluster: a single 16-port crossbar
+// when it fits (the paper's testbeds), otherwise a Clos network of
+// 16-port switches (8 up / 8 down). loss may be nil.
+func NewCluster(eng *sim.Engine, prof hwprofile.MyrinetProfile, n int, loss netsim.LossModel) *Cluster {
+	if n < 1 {
+		panic(fmt.Sprintf("myrinet: cluster size %d", n))
+	}
+	var t topo.Topology
+	if n <= 16 {
+		t = topo.NewCrossbar(n)
+	} else {
+		t = topo.MinFatTree(8, n)
+	}
+	net := netsim.New(eng, t, prof.Net, loss)
+	cl := &Cluster{Eng: eng, Prof: prof, Net: net}
+	for i := 0; i < n; i++ {
+		cl.Nodes = append(cl.Nodes, NewNode(eng, i, &cl.Prof, net))
+	}
+	return cl
+}
+
+// Stats sums the NIC statistics over all nodes.
+func (cl *Cluster) Stats() NICStats {
+	var total NICStats
+	for _, node := range cl.Nodes {
+		s := node.NIC.Stats
+		total.TokensEnqueued += s.TokensEnqueued
+		total.DataSent += s.DataSent
+		total.AcksSent += s.AcksSent
+		total.AcksRecv += s.AcksRecv
+		total.Retransmits += s.Retransmits
+		total.SeqDrops += s.SeqDrops
+		total.TokenDrops += s.TokenDrops
+		total.DupAcks += s.DupAcks
+		total.EventsPosted += s.EventsPosted
+		total.CollSent += s.CollSent
+		total.CollRecvd += s.CollRecvd
+		total.CollResent += s.CollResent
+		total.NacksSent += s.NacksSent
+		total.NacksRecvd += s.NacksRecvd
+		total.StaleColl += s.StaleColl
+		total.BarriersRun += s.BarriersRun
+	}
+	return total
+}

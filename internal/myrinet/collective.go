@@ -1,0 +1,237 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"nicbarrier/internal/barrier"
+	"nicbarrier/internal/core"
+	"nicbarrier/internal/netsim"
+	"nicbarrier/internal/sim"
+)
+
+// collModule is the paper's NIC-based collective message passing protocol
+// as resident on one NIC. Compared with the p2p path it:
+//
+//   - keeps one dedicated queue entry per group (collOp), so barrier
+//     traffic never waits behind per-destination data queues;
+//   - transmits from the static (padded-ACK) packet: no packet claim,
+//     no fill DMA, no per-packet send record;
+//   - tracks the whole operation in one core.OpState (bit vector);
+//   - uses receiver-driven NACK retransmission instead of ACK+timeout.
+type collModule struct {
+	nic *NIC
+	ops map[core.GroupID]*collOp
+}
+
+type collOp struct {
+	group     *core.Group
+	state     *core.OpState
+	reduce    *core.ReduceState // non-nil for allreduce groups
+	nextSeq   int
+	nackTimer *sim.Timer
+}
+
+// sendValue is the integer the static packet carries to toRank for
+// operation seq: the recorded partial snapshot for allreduce, zero for
+// barriers/broadcasts.
+func (op *collOp) sendValue(seq, toRank int) int64 {
+	if op.reduce == nil {
+		return 0
+	}
+	v, ok := op.reduce.SentValue(seq, toRank)
+	if !ok {
+		panic(fmt.Sprintf("myrinet: no reduce snapshot for op %d to rank %d", seq, toRank))
+	}
+	return v
+}
+
+func newCollModule(n *NIC) *collModule {
+	return &collModule{nic: n, ops: make(map[core.GroupID]*collOp)}
+}
+
+func (c *collModule) has(id core.GroupID) bool {
+	_, ok := c.ops[id]
+	return ok
+}
+
+func (c *collModule) install(g *core.Group, sched barrier.Schedule) {
+	if c.has(g.ID) || c.nic.direct.has(g.ID) {
+		panic(fmt.Sprintf("myrinet: group %d already installed on node %d", g.ID, c.nic.node.ID))
+	}
+	c.ops[g.ID] = &collOp{group: g, state: core.NewOpState(sched)}
+}
+
+func (c *collModule) installReduce(g *core.Group, sched barrier.Schedule, op core.ReduceOp) error {
+	if c.has(g.ID) || c.nic.direct.has(g.ID) {
+		panic(fmt.Sprintf("myrinet: group %d already installed on node %d", g.ID, c.nic.node.ID))
+	}
+	rd, err := core.NewReduceState(op, sched)
+	if err != nil {
+		return err
+	}
+	c.ops[g.ID] = &collOp{group: g, state: rd.Inner(), reduce: rd}
+	return nil
+}
+
+func (c *collModule) mustOp(id core.GroupID) *collOp {
+	op, ok := c.ops[id]
+	if !ok {
+		panic(fmt.Sprintf("myrinet: node %d: collective message for unknown group %d", c.nic.node.ID, id))
+	}
+	return op
+}
+
+// start handles the operation doorbell: one enqueue charge creates the
+// operation's send record, then the first sends fire from the static
+// packet. value is the allreduce contribution (ignored for barriers).
+func (c *collModule) start(id core.GroupID, value int64) {
+	op := c.mustOp(id)
+	n := c.nic
+	n.exec(n.node.Prof.NIC.CollEnqueue, 0, func() {
+		seq := op.nextSeq
+		op.nextSeq++
+		var sends []int
+		var done bool
+		var err error
+		if op.reduce != nil {
+			sends, done, err = op.reduce.Start(seq, value)
+		} else {
+			sends, done, err = op.state.Start(seq)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("myrinet: node %d: %v", n.node.ID, err))
+		}
+		c.armNack(op, seq)
+		c.sendAll(op, seq, sends)
+		if done {
+			c.complete(op, seq)
+		}
+	})
+}
+
+// sendAll fires one CollTrigger handler per outgoing notification; the
+// NIC processor serializes them, the static packet eliminates all
+// claim/fill work.
+func (c *collModule) sendAll(op *collOp, seq int, ranks []int) {
+	n := c.nic
+	for _, r := range ranks {
+		dst := op.group.NodeOf(r)
+		payload := collPayload{
+			group: op.group.ID, seq: seq, fromRank: op.group.MyRank,
+			value: op.sendValue(seq, r),
+		}
+		n.exec(n.node.Prof.NIC.CollTrigger, n.node.Prof.NIC.SendFixed, func() {
+			n.net.Send(netsim.Packet{
+				Src:     n.node.ID,
+				Dst:     dst,
+				Size:    n.node.Prof.BarrierBytes,
+				Kind:    "barrier-coll",
+				Payload: payload,
+			})
+			n.Stats.CollSent++
+		})
+	}
+}
+
+// onMsg handles an arrived collective notification: one slim handler
+// updates the bit vector and triggers whatever the schedule unblocks.
+func (c *collModule) onMsg(m collPayload) {
+	n := c.nic
+	n.exec(n.node.Prof.NIC.CollRecv, n.node.Prof.NIC.RecvFixed, func() {
+		op := c.mustOp(m.group)
+		n.Stats.CollRecvd++
+		staleBefore := op.state.Stale + op.state.Duplicates
+		var sends []int
+		var done bool
+		var err error
+		if op.reduce != nil {
+			sends, done, err = op.reduce.Arrive(m.seq, m.fromRank, m.value)
+		} else {
+			sends, done, err = op.state.Arrive(m.seq, m.fromRank)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("myrinet: node %d: %v", n.node.ID, err))
+		}
+		if op.state.Stale+op.state.Duplicates > staleBefore {
+			n.Stats.StaleColl++
+		}
+		c.sendAll(op, op.state.Seq(), sends)
+		if done {
+			c.complete(op, op.state.Seq())
+		}
+	})
+}
+
+func (c *collModule) complete(op *collOp, seq int) {
+	if op.nackTimer != nil {
+		op.nackTimer.Cancel()
+		op.nackTimer = nil
+	}
+	n := c.nic
+	n.Stats.BarriersRun++
+	var value int64
+	if op.reduce != nil {
+		value = op.reduce.Value()
+	}
+	n.exec(n.node.Prof.NIC.CollComplete, 0, func() {
+		n.postEvent(Event{Kind: EvBarrierDone, Group: int(op.group.ID), Seq: seq, Value: value})
+	})
+}
+
+// armNack starts the receiver-driven retransmission timer: if the
+// operation has not completed when it fires, NACK every sender whose
+// notification is missing and re-arm.
+func (c *collModule) armNack(op *collOp, seq int) {
+	if !op.state.Active() {
+		return
+	}
+	n := c.nic
+	timeout := n.node.Prof.NIC.NackTimeout
+	op.nackTimer = n.eng.After(timeout, func() {
+		if !op.state.Active() || op.state.Seq() != seq {
+			return
+		}
+		for _, r := range op.state.Missing() {
+			dst := op.group.NodeOf(r)
+			payload := nackMsg{group: op.group.ID, seq: seq, wantRank: op.group.MyRank}
+			n.exec(n.node.Prof.NIC.AckBuild, n.node.Prof.NIC.SendFixed, func() {
+				n.net.Send(netsim.Packet{
+					Src:     n.node.ID,
+					Dst:     dst,
+					Size:    n.node.Prof.BarrierBytes,
+					Kind:    "barrier-nack",
+					Payload: payload,
+				})
+				n.Stats.NacksSent++
+			})
+		}
+		c.armNack(op, seq) // re-arm until the operation completes
+	})
+}
+
+// onNack serves a retransmission request: if this rank already sent the
+// requested notification, fire it again from the static packet.
+func (c *collModule) onNack(m nackMsg, fromNode int) {
+	n := c.nic
+	n.exec(n.node.Prof.NIC.CollRecv, n.node.Prof.NIC.RecvFixed, func() {
+		op := c.mustOp(m.group)
+		n.Stats.NacksRecvd++
+		if !op.state.HasSent(m.seq, m.wantRank) {
+			return // not sent yet; the normal path will deliver it
+		}
+		payload := collPayload{
+			group: op.group.ID, seq: m.seq, fromRank: op.group.MyRank,
+			value: op.sendValue(m.seq, m.wantRank),
+		}
+		n.exec(n.node.Prof.NIC.CollTrigger, n.node.Prof.NIC.SendFixed, func() {
+			n.net.Send(netsim.Packet{
+				Src:     n.node.ID,
+				Dst:     fromNode,
+				Size:    n.node.Prof.BarrierBytes,
+				Kind:    "barrier-coll",
+				Payload: payload,
+			})
+			n.Stats.CollResent++
+		})
+	})
+}

@@ -1,0 +1,132 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"nicbarrier/internal/barrier"
+	"nicbarrier/internal/core"
+)
+
+// directModule is the earlier NIC-based barrier scheme of Buntinas et al.
+// (IPDPS'01), kept as the paper's ablation baseline: the NIC detects
+// arrived barrier messages and triggers the next ones without host
+// involvement, but every message still traverses the point-to-point
+// machinery — per-destination queues, packet claim and fill, per-packet
+// send records, ACKs and sender timeouts.
+type directModule struct {
+	nic *NIC
+	ops map[core.GroupID]*directOp
+}
+
+type directOp struct {
+	group   *core.Group
+	state   *core.OpState
+	nextSeq int
+}
+
+func newDirectModule(n *NIC) *directModule {
+	return &directModule{nic: n, ops: make(map[core.GroupID]*directOp)}
+}
+
+func (d *directModule) has(id core.GroupID) bool {
+	_, ok := d.ops[id]
+	return ok
+}
+
+func (d *directModule) install(g *core.Group, sched barrier.Schedule) {
+	if d.has(g.ID) || d.nic.coll.has(g.ID) {
+		panic(fmt.Sprintf("myrinet: group %d already installed on node %d", g.ID, d.nic.node.ID))
+	}
+	d.ops[g.ID] = &directOp{group: g, state: core.NewOpState(sched)}
+}
+
+func (d *directModule) mustOp(id core.GroupID) *directOp {
+	op, ok := d.ops[id]
+	if !ok {
+		panic(fmt.Sprintf("myrinet: node %d: direct barrier message for unknown group %d", d.nic.node.ID, id))
+	}
+	return op
+}
+
+func (d *directModule) start(id core.GroupID) {
+	op := d.mustOp(id)
+	n := d.nic
+	// The doorbell is translated like a regular send event.
+	n.exec(n.node.Prof.NIC.TokenTranslate, 0, func() {
+		seq := op.nextSeq
+		op.nextSeq++
+		sends, done, err := op.state.Start(seq)
+		if err != nil {
+			panic(fmt.Sprintf("myrinet: node %d: %v", n.node.ID, err))
+		}
+		d.enqueueSends(op, seq, sends)
+		if done {
+			d.complete(op, seq)
+		}
+	})
+}
+
+// enqueueSends pushes one regular send token per notification into the
+// per-destination p2p queues — the exact queuing/packetizing overhead the
+// collective protocol bypasses.
+func (d *directModule) enqueueSends(op *directOp, seq int, ranks []int) {
+	n := d.nic
+	for _, r := range ranks {
+		n.Stats.TokensEnqueued++
+		n.enqueueToken(&sendToken{
+			dst:      op.group.NodeOf(r),
+			size:     8, // the barrier integer, NIC-generated
+			hostData: false,
+			barrier:  &collPayload{group: op.group.ID, seq: seq, fromRank: op.group.MyRank},
+		})
+	}
+	if len(ranks) > 0 {
+		n.kick()
+	}
+}
+
+// onArrive is called from the p2p receive path after the sequence check
+// accepted a barrier-tagged data packet.
+func (d *directModule) onArrive(m collPayload) {
+	n := d.nic
+	n.exec(n.node.Prof.NIC.CollRecv, 0, func() {
+		op := d.mustOp(m.group)
+		sends, done, err := op.state.Arrive(m.seq, m.fromRank)
+		if err != nil {
+			panic(fmt.Sprintf("myrinet: node %d: %v", n.node.ID, err))
+		}
+		d.enqueueSends(op, op.state.Seq(), sends)
+		if done {
+			d.complete(op, op.state.Seq())
+		}
+	})
+}
+
+func (d *directModule) complete(op *directOp, seq int) {
+	n := d.nic
+	n.Stats.BarriersRun++
+	n.exec(n.node.Prof.NIC.CollComplete, 0, func() {
+		n.postEvent(Event{Kind: EvBarrierDone, Group: int(op.group.ID), Seq: seq})
+	})
+}
+
+// --- NIC installation API (shared by both schemes) ---
+
+// InstallCollectiveGroup registers a group for the paper's collective
+// protocol barrier on this NIC.
+func (n *NIC) InstallCollectiveGroup(g *core.Group, sched barrier.Schedule) {
+	n.coll.install(g, sched)
+}
+
+// InstallReduceGroup registers a group for NIC-based allreduce over the
+// collective protocol. It fails when the (operator, schedule) pair cannot
+// produce exact results (sum over non-power-of-two dissemination).
+func (n *NIC) InstallReduceGroup(g *core.Group, sched barrier.Schedule, op core.ReduceOp) error {
+	return n.coll.installReduce(g, sched, op)
+}
+
+// InstallDirectGroup registers a group for the direct-scheme barrier on
+// this NIC.
+func (n *NIC) InstallDirectGroup(g *core.Group, sched barrier.Schedule) {
+	n.direct.install(g, sched)
+}

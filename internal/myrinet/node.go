@@ -1,0 +1,170 @@
+// Package myrinet models a Myrinet/GM cluster node pair: the host side of
+// the GM user-level protocol and the LANai NIC running the Myrinet Control
+// Program (MCP). It implements the full point-to-point protocol the paper
+// describes in Section 4.2 — send events translated to send tokens,
+// per-destination queues drained round-robin, send packet claiming and
+// filling, per-packet send records with ACK/timeout retransmission,
+// receiver sequence checks, receive tokens and host events — plus the
+// paper's three barrier schemes on top of it:
+//
+//   - host-based barriers (the baseline: the host drives every step
+//     through plain GM sends and receive events);
+//   - the "direct" NIC-based scheme of Buntinas et al. (the NIC triggers
+//     the next barrier message on arrival, but every message still rides
+//     the p2p machinery);
+//   - the paper's collective protocol (internal/core): dedicated group
+//     queue, static send packet, one bit-vector send record per barrier,
+//     receiver-driven NACK retransmission.
+package myrinet
+
+import (
+	"fmt"
+
+	"nicbarrier/internal/hwprofile"
+	"nicbarrier/internal/netsim"
+	"nicbarrier/internal/pci"
+	"nicbarrier/internal/sim"
+)
+
+// proc is a sequential processor with a busy-until discipline: handlers
+// queue behind each other, which is how both the host CPU and the single
+// LANai processor serialize work.
+type proc struct {
+	eng       *sim.Engine
+	clockMHz  float64
+	busyUntil sim.Time
+}
+
+// exec schedules fn after the processor has finished its current backlog
+// plus cycles of work plus a fixed latency; the processor is held busy for
+// the whole span.
+func (p *proc) exec(cycles int64, fixed sim.Duration, fn func()) {
+	start := p.eng.Now()
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	done := start.Add(sim.Cycles(cycles, p.clockMHz)).Add(fixed)
+	p.busyUntil = done
+	p.eng.Schedule(done, fn)
+}
+
+// EventKind classifies host events (the records the NIC DMAs into host
+// memory for the host to poll).
+type EventKind int
+
+// Host event kinds.
+const (
+	EvRecv EventKind = iota + 1
+	EvSendDone
+	EvBarrierDone
+)
+
+// Event is one host event record.
+type Event struct {
+	Kind     EventKind
+	FromNode int   // EvRecv: sender node
+	Tag      any   // EvRecv: application tag
+	Group    int   // EvBarrierDone: group ID
+	Seq      int   // EvBarrierDone: operation sequence
+	Value    int64 // EvBarrierDone: allreduce result, when applicable
+}
+
+// Node is one cluster node: host + PCI bus + NIC.
+type Node struct {
+	ID   int
+	Prof *hwprofile.MyrinetProfile
+	Bus  *pci.Bus
+	Host *Host
+	NIC  *NIC
+}
+
+// Host models the host CPU side of GM.
+type Host struct {
+	proc
+	node *Node
+	// OnEvent receives every host event after the host has paid the
+	// poll/consume cost. Barrier runners hook it.
+	OnEvent func(Event)
+}
+
+// NewNode builds a node attached to net.
+func NewNode(eng *sim.Engine, id int, prof *hwprofile.MyrinetProfile, net *netsim.Network) *Node {
+	n := &Node{
+		ID:   id,
+		Prof: prof,
+		Bus:  pci.New(eng, prof.PCI),
+	}
+	n.Host = &Host{
+		proc: proc{eng: eng, clockMHz: prof.Host.ClockMHz},
+		node: n,
+	}
+	n.NIC = newNIC(eng, n, net)
+	net.Attach(id, n.NIC.onPacket)
+	return n
+}
+
+// deliver hands a DMAed event record to the host, charging the host's
+// poll-and-consume cost before the handler sees it.
+func (h *Host) deliver(ev Event) {
+	h.exec(h.node.Prof.Host.RecvPollCycles, 0, func() {
+		if h.OnEvent != nil {
+			h.OnEvent(ev)
+		}
+	})
+}
+
+// Send posts one GM send: host builds the descriptor, rings the doorbell
+// over PCI, and the NIC takes over. hostData selects whether the payload
+// lives in host memory (true: the NIC must DMA it into the send packet).
+func (h *Host) Send(dst, size int, tag any, hostData bool) {
+	if dst == h.node.ID {
+		panic("myrinet: self-send not modeled")
+	}
+	if size < 0 {
+		panic(fmt.Sprintf("myrinet: negative send size %d", size))
+	}
+	h.exec(h.node.Prof.Host.SendPostCycles, 0, func() {
+		h.node.Bus.PIOWrite(func() {
+			h.node.NIC.onSendDoorbell(&sendToken{
+				dst:      dst,
+				size:     size,
+				tag:      tag,
+				hostData: hostData,
+			})
+		})
+	})
+}
+
+// PostRecvTokens replenishes k receive buffers, one PIO each (GM posts
+// each receive buffer separately).
+func (h *Host) PostRecvTokens(k int) {
+	for i := 0; i < k; i++ {
+		h.exec(h.node.Prof.Host.TokenPostCycles, 0, func() {
+			h.node.Bus.PIOWrite(func() {
+				h.node.NIC.onTokenPost()
+			})
+		})
+	}
+}
+
+// PostBarrier initiates a NIC-based barrier on a previously installed
+// group (collective scheme or direct scheme, fixed per group at install
+// time). Completion arrives as an EvBarrierDone host event.
+func (h *Host) PostBarrier(groupID int) {
+	h.exec(h.node.Prof.Host.SendPostCycles, 0, func() {
+		h.node.Bus.PIOWrite(func() {
+			h.node.NIC.onBarrierDoorbell(groupID, 0)
+		})
+	})
+}
+
+// PostReduce initiates a NIC-based allreduce on a group installed with
+// InstallReduceGroup, contributing value. The EvBarrierDone completion
+// event carries the combined result.
+func (h *Host) PostReduce(groupID int, value int64) {
+	h.exec(h.node.Prof.Host.SendPostCycles, 0, func() {
+		h.node.Bus.PIOWrite(func() {
+			h.node.NIC.onBarrierDoorbell(groupID, value)
+		})
+	})
+}

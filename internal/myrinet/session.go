@@ -1,0 +1,321 @@
+package myrinet
+
+import (
+	"fmt"
+
+	"nicbarrier/internal/barrier"
+	"nicbarrier/internal/core"
+	"nicbarrier/internal/sim"
+)
+
+// Scheme selects how barriers are executed on a Myrinet cluster.
+type Scheme int
+
+// The three schemes the paper evaluates on Myrinet.
+const (
+	// SchemeHost: the host drives every step through plain GM
+	// point-to-point sends and receive events (the baseline of
+	// Figs. 5 and 6).
+	SchemeHost Scheme = iota
+	// SchemeDirect: the earlier NIC-based barrier on top of the p2p
+	// protocol (Buntinas et al.), the ablation baseline.
+	SchemeDirect
+	// SchemeCollective: the paper's NIC-based collective protocol.
+	SchemeCollective
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeHost:
+		return "host"
+	case SchemeDirect:
+		return "nic-direct"
+	case SchemeCollective:
+		return "nic-collective"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Session runs consecutive barriers over a subset of a cluster's nodes,
+// the measurement loop of the paper's Section 8 ("processes execute
+// consecutive barrier operations").
+type Session struct {
+	cl      *Cluster
+	nodeIDs []int // participating nodes; index is the rank
+	scheme  Scheme
+	// gated sessions start iteration k+1 only once every member has
+	// completed k (used for broadcast, which does not self-synchronize);
+	// barrier sessions chain per member, as real benchmark loops do.
+	gated bool
+
+	members []*member
+	iters   int
+	doneAt  []sim.Time // completion time per iteration
+	pending []int      // per iteration, members not yet complete
+
+	// results[iter][rank] collects allreduce outcomes; nil otherwise.
+	results [][]int64
+}
+
+type member struct {
+	s     *Session
+	rank  int
+	node  *Node
+	group *core.Group
+	sched barrier.Schedule
+	// Host-side schedule state, used only by SchemeHost.
+	hostOp *core.OpState
+	// contrib supplies the allreduce contribution per iteration; nil for
+	// barriers and broadcasts.
+	contrib func(seq int) int64
+}
+
+// hostBarrierTag tags host-scheme barrier messages on the wire.
+type hostBarrierTag struct {
+	group core.GroupID
+	seq   int
+}
+
+// SessionGroupID is the group ID sessions install. One session per
+// cluster: sessions own the host event hooks and the group tables.
+const SessionGroupID = 1
+
+// NewSession prepares a barrier session. nodeIDs lists the participating
+// node IDs in rank order (the harness passes a random permutation, as the
+// paper does); alg and opts pick the barrier algorithm.
+func NewSession(cl *Cluster, nodeIDs []int, scheme Scheme, alg barrier.Algorithm, opts barrier.Options) *Session {
+	scheds := make([]barrier.Schedule, len(nodeIDs))
+	for rank := range nodeIDs {
+		scheds[rank] = barrier.New(alg, len(nodeIDs), rank, opts)
+	}
+	return newSession(cl, nodeIDs, scheme, scheds, false)
+}
+
+// NewBroadcastSession prepares a NIC-based broadcast session (the
+// extension of the paper's future-work section): the root's notification
+// fans down a d-ary tree entirely on the NICs via the collective
+// protocol. Iterations are globally gated, since a broadcast does not
+// synchronize its participants.
+func NewBroadcastSession(cl *Cluster, nodeIDs []int, root, degree int) *Session {
+	scheds := make([]barrier.Schedule, len(nodeIDs))
+	for rank := range nodeIDs {
+		scheds[rank] = barrier.BroadcastTree(len(nodeIDs), rank, root, degree)
+	}
+	return newSession(cl, nodeIDs, SchemeCollective, scheds, true)
+}
+
+// NewAllreduceSession prepares a NIC-based single-word allreduce over the
+// collective protocol. contrib supplies each rank's contribution per
+// iteration; results are collected per iteration and retrievable with
+// Results after Run.
+func NewAllreduceSession(cl *Cluster, nodeIDs []int, alg barrier.Algorithm, opts barrier.Options,
+	op core.ReduceOp, contrib func(rank, iter int) int64) (*Session, error) {
+	scheds := make([]barrier.Schedule, len(nodeIDs))
+	for rank := range nodeIDs {
+		scheds[rank] = barrier.New(alg, len(nodeIDs), rank, opts)
+	}
+	if len(nodeIDs) == 0 {
+		panic("myrinet: empty session")
+	}
+	// Validate the operator/schedule combination before touching NICs.
+	if _, err := core.NewReduceState(op, scheds[0]); err != nil {
+		return nil, err
+	}
+	s := newAllreduceSession(cl, nodeIDs, scheds, op)
+	for rank, m := range s.members {
+		rank := rank
+		m.contrib = func(iter int) int64 { return contrib(rank, iter) }
+	}
+	return s, nil
+}
+
+func newAllreduceSession(cl *Cluster, nodeIDs []int, scheds []barrier.Schedule, op core.ReduceOp) *Session {
+	s := &Session{cl: cl, nodeIDs: append([]int(nil), nodeIDs...), scheme: SchemeCollective}
+	for rank, id := range s.nodeIDs {
+		if id < 0 || id >= len(cl.Nodes) {
+			panic(fmt.Sprintf("myrinet: node %d outside cluster of %d", id, len(cl.Nodes)))
+		}
+		m := &member{
+			s:     s,
+			rank:  rank,
+			node:  cl.Nodes[id],
+			group: core.NewGroup(SessionGroupID, s.nodeIDs, rank),
+			sched: scheds[rank],
+		}
+		if err := m.node.NIC.InstallReduceGroup(m.group, m.sched, op); err != nil {
+			panic(fmt.Sprintf("myrinet: %v", err)) // validated by caller
+		}
+		m.node.Host.OnEvent = m.onEvent
+		s.members = append(s.members, m)
+	}
+	return s
+}
+
+// Results returns the allreduce outcome per iteration and rank; nil for
+// barrier and broadcast sessions.
+func (s *Session) Results() [][]int64 { return s.results }
+
+func newSession(cl *Cluster, nodeIDs []int, scheme Scheme, scheds []barrier.Schedule, gated bool) *Session {
+	if len(nodeIDs) == 0 {
+		panic("myrinet: empty session")
+	}
+	s := &Session{cl: cl, nodeIDs: append([]int(nil), nodeIDs...), scheme: scheme, gated: gated}
+	for rank, id := range s.nodeIDs {
+		if id < 0 || id >= len(cl.Nodes) {
+			panic(fmt.Sprintf("myrinet: node %d outside cluster of %d", id, len(cl.Nodes)))
+		}
+		m := &member{
+			s:     s,
+			rank:  rank,
+			node:  cl.Nodes[id],
+			group: core.NewGroup(SessionGroupID, s.nodeIDs, rank),
+			sched: scheds[rank],
+		}
+		switch scheme {
+		case SchemeHost:
+			m.hostOp = core.NewOpState(m.sched)
+			// Pre-post a pool of receive buffers; each consumed event
+			// is replenished during the run.
+			m.node.Host.PostRecvTokens(len(m.sched.ExpectedArrivals()) + 4)
+		case SchemeDirect:
+			m.node.NIC.InstallDirectGroup(m.group, m.sched)
+		case SchemeCollective:
+			m.node.NIC.InstallCollectiveGroup(m.group, m.sched)
+		default:
+			panic(fmt.Sprintf("myrinet: unknown scheme %d", int(scheme)))
+		}
+		m.node.Host.OnEvent = m.onEvent
+		s.members = append(s.members, m)
+	}
+	return s
+}
+
+// Run executes iters consecutive barriers and returns the virtual time at
+// which each iteration completed on every node. It panics if the
+// simulation deadlocks before finishing.
+func (s *Session) Run(iters int) []sim.Time {
+	if iters < 1 {
+		panic(fmt.Sprintf("myrinet: iterations %d", iters))
+	}
+	s.iters = iters
+	s.doneAt = make([]sim.Time, iters)
+	s.pending = make([]int, iters)
+	for i := range s.pending {
+		s.pending[i] = len(s.members)
+	}
+	if len(s.members) > 0 && s.members[0].contrib != nil {
+		s.results = make([][]int64, iters)
+		for i := range s.results {
+			s.results[i] = make([]int64, len(s.members))
+		}
+	}
+	for _, m := range s.members {
+		m.start(0)
+	}
+	finished := func() bool { return s.pending[iters-1] == 0 }
+	if !s.cl.Eng.RunCondition(finished) {
+		panic(fmt.Sprintf("myrinet: %s barrier deadlocked (%d nodes, iter pending %v)",
+			s.scheme, len(s.members), s.pending))
+	}
+	return s.doneAt
+}
+
+// MeanLatency runs warmup+iters consecutive barriers and reports the mean
+// per-barrier latency over the measured iterations, mirroring the paper's
+// methodology (first iterations warm up, the rest are averaged).
+func (s *Session) MeanLatency(warmup, iters int) sim.Duration {
+	doneAt := s.Run(warmup + iters)
+	var start sim.Time
+	if warmup > 0 {
+		start = doneAt[warmup-1]
+	}
+	total := doneAt[warmup+iters-1].Sub(start)
+	return total / sim.Duration(iters)
+}
+
+func (s *Session) complete(rank, seq int) {
+	if seq >= s.iters {
+		panic(fmt.Sprintf("myrinet: completion for iteration %d beyond %d", seq, s.iters))
+	}
+	s.pending[seq]--
+	if s.pending[seq] < 0 {
+		panic(fmt.Sprintf("myrinet: double completion of iteration %d by rank %d", seq, rank))
+	}
+	if s.pending[seq] == 0 {
+		s.doneAt[seq] = s.cl.Eng.Now()
+		if s.gated {
+			if next := seq + 1; next < s.iters {
+				for _, m := range s.members {
+					m.start(next)
+				}
+			}
+		}
+	}
+	if !s.gated {
+		if next := seq + 1; next < s.iters {
+			s.members[rank].start(next)
+		}
+	}
+}
+
+// start posts operation #seq on this member's node.
+func (m *member) start(seq int) {
+	if m.contrib != nil {
+		m.node.Host.PostReduce(SessionGroupID, m.contrib(seq))
+		return
+	}
+	switch m.s.scheme {
+	case SchemeHost:
+		sends, done, err := m.hostOp.Start(seq)
+		if err != nil {
+			panic(fmt.Sprintf("myrinet: rank %d: %v", m.rank, err))
+		}
+		m.hostSend(seq, sends)
+		if done {
+			m.s.complete(m.rank, seq)
+		}
+	default:
+		m.node.Host.PostBarrier(SessionGroupID)
+	}
+}
+
+func (m *member) hostSend(seq int, ranks []int) {
+	for _, r := range ranks {
+		m.node.Host.Send(m.group.NodeOf(r), 8,
+			hostBarrierTag{group: m.group.ID, seq: seq}, true)
+	}
+}
+
+func (m *member) onEvent(ev Event) {
+	switch ev.Kind {
+	case EvBarrierDone:
+		if m.s.results != nil && ev.Seq < len(m.s.results) {
+			m.s.results[ev.Seq][m.rank] = ev.Value
+		}
+		m.s.complete(m.rank, ev.Seq)
+	case EvRecv:
+		tag, ok := ev.Tag.(hostBarrierTag)
+		if !ok {
+			return // not barrier traffic; ignore
+		}
+		// Replenish the receive buffer consumed by this message.
+		m.node.Host.PostRecvTokens(1)
+		fromRank, ok := m.group.RankOf(ev.FromNode)
+		if !ok {
+			panic(fmt.Sprintf("myrinet: barrier message from non-member node %d", ev.FromNode))
+		}
+		sends, done, err := m.hostOp.Arrive(tag.seq, fromRank)
+		if err != nil {
+			panic(fmt.Sprintf("myrinet: rank %d: %v", m.rank, err))
+		}
+		m.hostSend(m.hostOp.Seq(), sends)
+		if done {
+			m.s.complete(m.rank, m.hostOp.Seq())
+		}
+	case EvSendDone:
+		// Send completions are consumed (host cost already charged) and
+		// ignored by the barrier loop.
+	}
+}

@@ -1,0 +1,259 @@
+// Package netsim is the wire-level transport simulator shared by the
+// Myrinet and Quadrics substrates. It models cut-through (wormhole)
+// switching: a packet's head ripples through the route paying a per-link
+// wire latency and a per-switch cut-through latency, the packet body
+// occupies every traversed link for its serialization time (which is how
+// output-port contention arises), and the destination sees the packet once
+// the last byte arrives.
+//
+// Packet loss is injected through a LossModel; Quadrics provides
+// hardware-level reliability (never drops), while Myrinet leaves
+// reliability to the NIC control program, which is exactly the part of the
+// design space the paper's receiver-driven retransmission targets.
+package netsim
+
+import (
+	"fmt"
+
+	"nicbarrier/internal/sim"
+	"nicbarrier/internal/topo"
+)
+
+// Packet is one network transfer unit.
+type Packet struct {
+	Src, Dst int
+	Size     int    // bytes on the wire, including headers
+	Kind     string // accounting label ("data", "ack", "barrier", "nack", ...)
+	Payload  any
+}
+
+// Params fixes the physical constants of a network.
+type Params struct {
+	// WirePerHop is the propagation delay of one link segment.
+	WirePerHop sim.Duration
+	// SwitchLatency is the cut-through routing delay per switch.
+	SwitchLatency sim.Duration
+	// BandwidthMBps is the link bandwidth used for serialization.
+	BandwidthMBps float64
+}
+
+// LossModel decides whether a packet is dropped at injection. It is
+// consulted once per Send.
+type LossModel interface {
+	Drop(pkt Packet) bool
+}
+
+// NoLoss never drops; it models Quadrics' hardware reliability.
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop(Packet) bool { return false }
+
+// RandomLoss drops packets independently with probability Rate, except
+// kinds listed in Immune (useful to protect control traffic in tests).
+type RandomLoss struct {
+	Rate   float64
+	RNG    *sim.RNG
+	Immune map[string]bool
+}
+
+// Drop implements LossModel.
+func (l *RandomLoss) Drop(pkt Packet) bool {
+	if l.Immune[pkt.Kind] {
+		return false
+	}
+	return l.RNG.Bool(l.Rate)
+}
+
+// ScriptedLoss drops the n-th matching packet (0-based) for each entry,
+// giving tests deterministic single-loss scenarios.
+type ScriptedLoss struct {
+	// Kind selects which packets count; empty matches all.
+	Kind string
+	// DropNth holds indices (into the matching sequence) to drop.
+	DropNth map[int]bool
+
+	seen int
+}
+
+// Drop implements LossModel.
+func (l *ScriptedLoss) Drop(pkt Packet) bool {
+	if l.Kind != "" && pkt.Kind != l.Kind {
+		return false
+	}
+	n := l.seen
+	l.seen++
+	return l.DropNth[n]
+}
+
+// Counters aggregates traffic accounting; the paper's packet-halving claim
+// (receiver-driven retransmission eliminates ACKs) is verified against
+// these numbers.
+type Counters struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Bytes     uint64
+	ByKind    map[string]uint64
+}
+
+// Network binds a topology to physical parameters and attached receivers.
+type Network struct {
+	eng       *sim.Engine
+	topo      topo.Topology
+	params    Params
+	busyUntil []sim.Time
+	recv      []func(Packet)
+	loss      LossModel
+	counters  Counters
+}
+
+// New builds a network over the given topology. Loss may be nil for a
+// lossless network.
+func New(eng *sim.Engine, t topo.Topology, p Params, loss LossModel) *Network {
+	if p.BandwidthMBps <= 0 {
+		panic("netsim: non-positive bandwidth")
+	}
+	if loss == nil {
+		loss = NoLoss{}
+	}
+	return &Network{
+		eng:       eng,
+		topo:      t,
+		params:    p,
+		busyUntil: make([]sim.Time, t.LinkCount()),
+		recv:      make([]func(Packet), t.Hosts()),
+		loss:      loss,
+		counters:  Counters{ByKind: make(map[string]uint64)},
+	}
+}
+
+// Topology exposes the underlying topology.
+func (n *Network) Topology() topo.Topology { return n.topo }
+
+// Counters returns a snapshot of the traffic counters.
+func (n *Network) Counters() Counters {
+	snap := n.counters
+	snap.ByKind = make(map[string]uint64, len(n.counters.ByKind))
+	for k, v := range n.counters.ByKind {
+		snap.ByKind[k] = v
+	}
+	return snap
+}
+
+// ResetCounters zeroes the traffic accounting (e.g. after warmup).
+func (n *Network) ResetCounters() {
+	n.counters = Counters{ByKind: make(map[string]uint64)}
+}
+
+// Attach registers the receive callback for a host. It panics when the
+// host already has a receiver: silently replacing one would desynchronize
+// a NIC model from its traffic.
+func (n *Network) Attach(host int, fn func(Packet)) {
+	if host < 0 || host >= len(n.recv) {
+		panic(fmt.Sprintf("netsim: attach host %d out of range", host))
+	}
+	if n.recv[host] != nil {
+		panic(fmt.Sprintf("netsim: host %d already attached", host))
+	}
+	if fn == nil {
+		panic("netsim: nil receiver")
+	}
+	n.recv[host] = fn
+}
+
+// serialization is the body transfer time of pkt on one link.
+func (n *Network) serialization(pkt Packet) sim.Duration {
+	return sim.BytesAt(int64(pkt.Size), n.params.BandwidthMBps)
+}
+
+// Send injects a packet at the current virtual time. Delivery (or drop)
+// is scheduled on the engine; Send itself costs no time, injection
+// overheads belong to the NIC models.
+func (n *Network) Send(pkt Packet) {
+	n.counters.Sent++
+	n.counters.Bytes += uint64(pkt.Size)
+	n.counters.ByKind[pkt.Kind]++
+	if pkt.Src == pkt.Dst {
+		panic(fmt.Sprintf("netsim: loopback packet %d->%d; NIC models handle self-delivery", pkt.Src, pkt.Dst))
+	}
+	if n.loss.Drop(pkt) {
+		n.counters.Dropped++
+		return
+	}
+	arrival := n.headArrival(pkt, n.topo.Route(pkt.Src, pkt.Dst)).
+		Add(n.serialization(pkt))
+	n.eng.Schedule(arrival, func() { n.deliver(pkt) })
+}
+
+// headArrival walks the route charging per-hop latency and link occupancy,
+// returning when the packet head reaches the destination port.
+func (n *Network) headArrival(pkt Packet, route []int) sim.Time {
+	ser := n.serialization(pkt)
+	t := n.eng.Now()
+	for i, link := range route {
+		start := t
+		if n.busyUntil[link] > start {
+			start = n.busyUntil[link] // blocked behind an earlier worm
+		}
+		n.busyUntil[link] = start.Add(ser)
+		t = start.Add(n.params.WirePerHop)
+		if i+1 < len(route) {
+			t = t.Add(n.params.SwitchLatency) // cut-through at next switch
+		}
+	}
+	return t
+}
+
+func (n *Network) deliver(pkt Packet) {
+	fn := n.recv[pkt.Dst]
+	if fn == nil {
+		panic(fmt.Sprintf("netsim: packet for unattached host %d", pkt.Dst))
+	}
+	n.counters.Delivered++
+	fn(pkt)
+}
+
+// Multicast models hardware replication in the switches (the QsNet
+// broadcast primitive): one injection reaches every destination, sharing
+// link occupancy where routes overlap (each unique link is charged once).
+// Destinations equal to src are skipped.
+func (n *Network) Multicast(pkt Packet, dsts []int) {
+	n.counters.Sent++
+	n.counters.Bytes += uint64(pkt.Size)
+	n.counters.ByKind[pkt.Kind]++
+	if n.loss.Drop(pkt) {
+		n.counters.Dropped++
+		return
+	}
+	ser := n.serialization(pkt)
+	// Per-link head time, deduplicated across the destination routes so
+	// shared trunk links are traversed (and occupied) once.
+	headAt := make(map[int]sim.Time)
+	for _, dst := range dsts {
+		if dst == pkt.Src {
+			continue
+		}
+		t := n.eng.Now()
+		route := n.topo.Route(pkt.Src, dst)
+		for i, link := range route {
+			if cached, ok := headAt[link]; ok {
+				t = cached
+				continue
+			}
+			start := t
+			if n.busyUntil[link] > start {
+				start = n.busyUntil[link]
+			}
+			n.busyUntil[link] = start.Add(ser)
+			t = start.Add(n.params.WirePerHop)
+			if i+1 < len(route) {
+				t = t.Add(n.params.SwitchLatency)
+			}
+			headAt[link] = t
+		}
+		p := pkt
+		p.Dst = dst
+		n.eng.Schedule(t.Add(ser), func() { n.deliver(p) })
+	}
+}

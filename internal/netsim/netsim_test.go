@@ -1,0 +1,262 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nicbarrier/internal/sim"
+	"nicbarrier/internal/topo"
+)
+
+func testParams() Params {
+	return Params{
+		WirePerHop:    sim.Nanos(25),
+		SwitchLatency: sim.Nanos(50),
+		BandwidthMBps: 250, // 1 byte = 4ns
+	}
+}
+
+func TestSendLatencyCrossbar(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, topo.NewCrossbar(4), testParams(), nil)
+	var at sim.Time
+	net.Attach(1, func(Packet) { at = eng.Now() })
+	net.Send(Packet{Src: 0, Dst: 1, Size: 100, Kind: "data"})
+	eng.Run()
+	// Route has 2 links: head = 25 + 50 (switch) + 25 = 100ns;
+	// body = 100B * 4ns = 400ns; arrival = 500ns.
+	if at != 500 {
+		t.Fatalf("arrival at %v, want 500ns", at)
+	}
+}
+
+func TestSendLatencyScalesWithHops(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := topo.NewFatTree(4, 2)
+	net := New(eng, ft, testParams(), nil)
+	var near, far sim.Time
+	net.Attach(1, func(Packet) { near = eng.Now() })
+	net.Attach(15, func(Packet) { far = eng.Now() })
+	net.Send(Packet{Src: 0, Dst: 1, Size: 8, Kind: "x"})
+	eng.Run()
+	base := eng.Now()
+	eng.Schedule(base, func() {
+		net.Send(Packet{Src: 0, Dst: 15, Size: 8, Kind: "x"})
+	})
+	eng.Run()
+	nearLat := sim.Duration(near)
+	farLat := far.Sub(base)
+	// 1-switch route: 2*25 + 1*50 + 32 = 132; 3-switch: 4*25 + 3*50 + 32 = 282.
+	if nearLat != 132 {
+		t.Fatalf("near latency %v, want 132ns", nearLat)
+	}
+	if farLat != 282 {
+		t.Fatalf("far latency %v, want 282ns", farLat)
+	}
+}
+
+func TestOutputPortContention(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, topo.NewCrossbar(4), testParams(), nil)
+	var arrivals []sim.Time
+	net.Attach(3, func(Packet) { arrivals = append(arrivals, eng.Now()) })
+	// Two senders target host 3 at the same instant; the second worm must
+	// queue behind the first on host 3's down-link.
+	net.Send(Packet{Src: 0, Dst: 3, Size: 100, Kind: "a"})
+	net.Send(Packet{Src: 1, Dst: 3, Size: 100, Kind: "b"})
+	eng.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(arrivals))
+	}
+	if arrivals[0] != 500 {
+		t.Fatalf("first arrival %v, want 500", arrivals[0])
+	}
+	// Second head reaches the shared link at 75ns but the link is busy
+	// until 75+400; head then pays 25ns wire, body 400ns.
+	if arrivals[1] <= arrivals[0] {
+		t.Fatalf("no serialization at contended port: %v", arrivals)
+	}
+	if got := arrivals[1] - arrivals[0]; sim.Duration(got) != 400 {
+		t.Fatalf("contention spacing = %v, want one serialization (400ns)", got)
+	}
+}
+
+func TestDistinctDestinationsDoNotContend(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, topo.NewCrossbar(4), testParams(), nil)
+	var a2, a3 sim.Time
+	net.Attach(2, func(Packet) { a2 = eng.Now() })
+	net.Attach(3, func(Packet) { a3 = eng.Now() })
+	net.Send(Packet{Src: 0, Dst: 2, Size: 100, Kind: "a"})
+	net.Send(Packet{Src: 1, Dst: 3, Size: 100, Kind: "b"})
+	eng.Run()
+	if a2 != 500 || a3 != 500 {
+		t.Fatalf("independent flows interfered: %v %v", a2, a3)
+	}
+}
+
+func TestCountersAndKinds(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, topo.NewCrossbar(4), testParams(), nil)
+	net.Attach(1, func(Packet) {})
+	net.Attach(2, func(Packet) {})
+	net.Send(Packet{Src: 0, Dst: 1, Size: 10, Kind: "data"})
+	net.Send(Packet{Src: 0, Dst: 2, Size: 20, Kind: "ack"})
+	net.Send(Packet{Src: 0, Dst: 1, Size: 30, Kind: "data"})
+	eng.Run()
+	c := net.Counters()
+	if c.Sent != 3 || c.Delivered != 3 || c.Dropped != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+	if c.Bytes != 60 {
+		t.Fatalf("bytes = %d", c.Bytes)
+	}
+	if c.ByKind["data"] != 2 || c.ByKind["ack"] != 1 {
+		t.Fatalf("by kind: %v", c.ByKind)
+	}
+	net.ResetCounters()
+	if got := net.Counters(); got.Sent != 0 || len(got.ByKind) != 0 {
+		t.Fatalf("reset failed: %+v", got)
+	}
+}
+
+func TestScriptedLoss(t *testing.T) {
+	eng := sim.NewEngine()
+	loss := &ScriptedLoss{Kind: "data", DropNth: map[int]bool{1: true}}
+	net := New(eng, topo.NewCrossbar(4), testParams(), loss)
+	var got []string
+	net.Attach(1, func(p Packet) { got = append(got, p.Kind) })
+	net.Send(Packet{Src: 0, Dst: 1, Size: 8, Kind: "data"}) // idx 0: kept
+	net.Send(Packet{Src: 0, Dst: 1, Size: 8, Kind: "ack"})  // not matching
+	net.Send(Packet{Src: 0, Dst: 1, Size: 8, Kind: "data"}) // idx 1: dropped
+	net.Send(Packet{Src: 0, Dst: 1, Size: 8, Kind: "data"}) // idx 2: kept
+	eng.Run()
+	if len(got) != 3 {
+		t.Fatalf("delivered %d packets: %v", len(got), got)
+	}
+	c := net.Counters()
+	if c.Dropped != 1 || c.Delivered != 3 || c.Sent != 4 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestRandomLossRate(t *testing.T) {
+	eng := sim.NewEngine()
+	loss := &RandomLoss{Rate: 0.3, RNG: sim.NewRNG(1), Immune: map[string]bool{"ctl": true}}
+	net := New(eng, topo.NewCrossbar(4), testParams(), loss)
+	net.Attach(1, func(Packet) {})
+	const total = 20000
+	for i := 0; i < total; i++ {
+		net.Send(Packet{Src: 0, Dst: 1, Size: 1, Kind: "data"})
+		eng.Run() // drain so link occupancy does not grow unboundedly
+	}
+	c := net.Counters()
+	frac := float64(c.Dropped) / total
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("drop fraction %v, want ~0.3", frac)
+	}
+	// Immune kinds never drop.
+	before := net.Counters().Dropped
+	for i := 0; i < 1000; i++ {
+		net.Send(Packet{Src: 0, Dst: 1, Size: 1, Kind: "ctl"})
+	}
+	eng.Run()
+	if net.Counters().Dropped != before {
+		t.Fatal("immune packets were dropped")
+	}
+}
+
+func TestMulticastSharedTrunk(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := topo.NewFatTree(4, 2)
+	net := New(eng, ft, testParams(), nil)
+	arrivals := map[int]sim.Time{}
+	for h := 0; h < 16; h++ {
+		h := h
+		net.Attach(h, func(Packet) { arrivals[h] = eng.Now() })
+	}
+	dsts := make([]int, 16)
+	for i := range dsts {
+		dsts[i] = i
+	}
+	net.Multicast(Packet{Src: 0, Dst: -1, Size: 8, Kind: "bcast"}, dsts)
+	eng.Run()
+	if len(arrivals) != 15 {
+		t.Fatalf("multicast reached %d hosts, want 15 (src skipped)", len(arrivals))
+	}
+	if _, self := arrivals[0]; self {
+		t.Fatal("multicast delivered to source")
+	}
+	// Same-leaf hosts (1..3) arrive before far hosts (4..15).
+	for far := 4; far < 16; far++ {
+		if arrivals[far] <= arrivals[1] {
+			t.Fatalf("far host %d (%v) not after near host (%v)", far, arrivals[far], arrivals[1])
+		}
+	}
+	// A single multicast counts once at injection, 15 deliveries.
+	c := net.Counters()
+	if c.Sent != 1 || c.Delivered != 15 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestAttachGuards(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, topo.NewCrossbar(2), testParams(), nil)
+	net.Attach(0, func(Packet) {})
+	for name, fn := range map[string]func(){
+		"double attach":  func() { net.Attach(0, func(Packet) {}) },
+		"range":          func() { net.Attach(5, func(Packet) {}) },
+		"nil receiver":   func() { net.Attach(1, nil) },
+		"loopback":       func() { net.Send(Packet{Src: 1, Dst: 1, Size: 1}) },
+		"zero bandwidth": func() { New(eng, topo.NewCrossbar(2), Params{}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUnattachedDeliveryPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, topo.NewCrossbar(2), testParams(), nil)
+	net.Send(Packet{Src: 0, Dst: 1, Size: 1, Kind: "x"})
+	defer func() {
+		if recover() == nil {
+			t.Error("delivery to unattached host did not panic")
+		}
+	}()
+	eng.Run()
+}
+
+// Property: latency is deterministic, positive and monotone in size for
+// any (src, dst, size) on an uncontended network.
+func TestLatencyMonotoneProperty(t *testing.T) {
+	f := func(srcRaw, dstRaw uint8, sizeRaw uint16) bool {
+		src := int(srcRaw) % 16
+		dst := int(dstRaw) % 16
+		if src == dst {
+			return true
+		}
+		size := int(sizeRaw)%4096 + 1
+		lat := func(sz int) sim.Duration {
+			eng := sim.NewEngine()
+			net := New(eng, topo.NewFatTree(4, 2), testParams(), nil)
+			var at sim.Time
+			net.Attach(dst, func(Packet) { at = eng.Now() })
+			net.Send(Packet{Src: src, Dst: dst, Size: sz, Kind: "p"})
+			eng.Run()
+			return sim.Duration(at)
+		}
+		l1, l2, l1Again := lat(size), lat(size+100), lat(size)
+		return l1 > 0 && l2 > l1 && l1 == l1Again
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

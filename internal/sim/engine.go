@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a single scheduled callback.
+type event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among events at the same instant
+	fn     func()
+	cancel bool
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event simulation core. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// executed counts events that have run; useful as a progress and
+	// complexity metric in tests and benchmarks.
+	executed uint64
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are scheduled and not cancelled.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics: it
+// always indicates a modeling bug, and silently reordering time would
+// invalidate every latency measurement built on the engine.
+func (e *Engine) Schedule(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After runs fn d after the current time.
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Step executes the single next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. It reports whether the queue drained before the
+// deadline (i.e. no runnable event remained at or past it).
+func (e *Engine) RunUntil(deadline Time) bool {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil {
+			e.now = maxTime(e.now, deadline)
+			return true
+		}
+		if ev.at > deadline {
+			e.now = deadline
+			return false
+		}
+		e.Step()
+	}
+	return false
+}
+
+// RunCondition executes events until pred() reports true after some event,
+// or the queue drains. It reports whether the predicate was satisfied.
+// This is how experiments run "until the barrier completed".
+func (e *Engine) RunCondition(pred func() bool) bool {
+	e.stopped = false
+	if pred() {
+		return true
+	}
+	for !e.stopped && e.Step() {
+		if pred() {
+			return true
+		}
+	}
+	return pred()
+}
+
+// Stop makes the current Run/RunUntil/RunCondition return after the current
+// event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() *event {
+	for len(e.queue) > 0 {
+		if e.queue[0].cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+func maxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Timer is a handle for a scheduled event; its only operation is Cancel.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. It reports whether the event was
+// still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancel {
+		return false
+	}
+	t.ev.cancel = true
+	return true
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := NewEngine()
+	e.Run()
+	if e.Now() != 0 {
+		t.Fatalf("clock moved on empty run: %v", e.Now())
+	}
+	if e.Executed() != 0 {
+		t.Fatalf("executed %d events on empty run", e.Executed())
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(30, func() { order = append(order, 3) })
+	e.After(10, func() { order = append(order, 1) })
+	e.After(20, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(50, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: pos %d got %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.After(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("nested schedule fired at %v, want [10 15]", fired)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	e.After(1, nil)
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	timer := e.After(10, func() { ran = true })
+	if !timer.Cancel() {
+		t.Fatal("first Cancel reported not pending")
+	}
+	if timer.Cancel() {
+		t.Fatal("second Cancel reported pending")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event still ran")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after run", e.Pending())
+	}
+}
+
+func TestTimerCancelNil(t *testing.T) {
+	var timer *Timer
+	if timer.Cancel() {
+		t.Fatal("nil timer Cancel reported pending")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.After(Duration(i+1), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Duration{5, 10, 15, 20} {
+		e.After(d, func() { fired = append(fired, e.Now()) })
+	}
+	drained := e.RunUntil(12)
+	if drained {
+		t.Fatal("RunUntil reported drained with events pending")
+	}
+	if e.Now() != 12 {
+		t.Fatalf("clock %v after RunUntil(12)", e.Now())
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if !e.RunUntil(100) {
+		t.Fatal("RunUntil(100) should drain")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock %v after drained RunUntil(100), want 100", e.Now())
+	}
+}
+
+func TestEngineRunCondition(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.After(Duration(i), func() { count++ })
+	}
+	ok := e.RunCondition(func() bool { return count >= 4 })
+	if !ok {
+		t.Fatal("condition not reached")
+	}
+	if count != 4 {
+		t.Fatalf("count = %d at condition, want 4", count)
+	}
+	// Draining without meeting an impossible condition reports false.
+	if e.RunCondition(func() bool { return false }) {
+		t.Fatal("impossible condition reported satisfied")
+	}
+	if count != 10 {
+		t.Fatalf("count = %d after drain, want 10", count)
+	}
+}
+
+func TestEngineRunConditionAlreadyTrue(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(1, func() { ran = true })
+	if !e.RunCondition(func() bool { return true }) {
+		t.Fatal("pre-satisfied condition reported false")
+	}
+	if ran {
+		t.Fatal("event ran though condition held before stepping")
+	}
+}
+
+// Property: for any set of non-negative delays, the engine fires events in
+// non-decreasing time order and ends with the clock at the max delay.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		last := Time(-1)
+		monotonic := true
+		var maxd Duration
+		for _, d := range delays {
+			d := Duration(d)
+			if d > maxd {
+				maxd = d
+			}
+			e.After(d, func() {
+				if e.Now() < last {
+					monotonic = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return monotonic && e.Now() == Time(maxd) &&
+			e.Executed() == uint64(len(delays))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Micros(5.6) != 5600 {
+		t.Fatalf("Micros(5.6) = %d", Micros(5.6))
+	}
+	if d := Time(5600).Micros(); d != 5.6 {
+		t.Fatalf("Time(5600).Micros() = %v", d)
+	}
+	if got := Time(1500).String(); got != "1.500us" {
+		t.Fatalf("Time.String() = %q", got)
+	}
+	if got := Duration(250).String(); got != "0.250us" {
+		t.Fatalf("Duration.String() = %q", got)
+	}
+	if got := Time(100).Add(50); got != 150 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Time(150).Sub(100); got != 50 {
+		t.Fatalf("Sub = %v", got)
+	}
+}
+
+func TestCycles(t *testing.T) {
+	// 133 cycles at 133 MHz is exactly 1us.
+	if got := Cycles(133, 133); got != 1000 {
+		t.Fatalf("Cycles(133, 133MHz) = %v, want 1000ns", got)
+	}
+	// 225 cycles at 225 MHz is exactly 1us.
+	if got := Cycles(225, 225); got != 1000 {
+		t.Fatalf("Cycles(225, 225MHz) = %v, want 1000ns", got)
+	}
+	// The identical handler is ~1.69x slower on the slower NIC.
+	slow := Cycles(650, 133)
+	fast := Cycles(650, 225)
+	ratio := float64(slow) / float64(fast)
+	if ratio < 1.68 || ratio > 1.70 {
+		t.Fatalf("clock scaling ratio = %v, want ~225/133", ratio)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Cycles with zero clock did not panic")
+		}
+	}()
+	Cycles(1, 0)
+}
+
+func TestBytesAt(t *testing.T) {
+	// 256 bytes at 256 MB/s is exactly 1us.
+	if got := BytesAt(256, 256); got != 1000 {
+		t.Fatalf("BytesAt(256, 256MB/s) = %v, want 1000ns", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BytesAt with zero bandwidth did not panic")
+		}
+	}()
+	BytesAt(1, 0)
+}

@@ -1,0 +1,79 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that underpins every simulated substrate in this repository: the virtual
+// clock, the event queue, cancellable timers and a seedable random number
+// generator.
+//
+// The engine is strictly sequential and deterministic: events scheduled for
+// the same virtual instant fire in the order they were scheduled (FIFO by an
+// internal sequence number). Determinism is what lets the test suite assert
+// exact latencies and message counts.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation. All substrates express latencies in this unit; helpers below
+// convert to and from the microsecond figures the paper reports.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is a separate type
+// from Time so that adding two absolute timestamps is a compile error.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from earlier to t.
+func (t Time) Sub(earlier Time) Duration { return Duration(t - earlier) }
+
+// Micros reports the timestamp in (fractional) microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// String renders the timestamp in microseconds, the unit used throughout
+// the paper's evaluation.
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Micros()) }
+
+// Micros reports the duration in (fractional) microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// String renders the duration in microseconds.
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", d.Micros()) }
+
+// Micros converts a duration expressed in microseconds into a Duration,
+// rounding to the nearest nanosecond.
+func Micros(us float64) Duration { return Duration(math.Round(us * 1e3)) }
+
+// Nanos converts an integer nanosecond count into a Duration.
+func Nanos(ns int64) Duration { return Duration(ns) }
+
+// Cycles converts a cycle count on a processor running at clockMHz into a
+// Duration. It is the bridge between "firmware handler costs N cycles" and
+// virtual time; the same handler is slower on a 133 MHz LANai 9.1 than on a
+// 225 MHz LANai-XP, exactly as in the paper's two Myrinet testbeds.
+func Cycles(n int64, clockMHz float64) Duration {
+	if clockMHz <= 0 {
+		panic("sim: non-positive clock frequency")
+	}
+	return Duration(math.Round(float64(n) * 1e3 / clockMHz))
+}
+
+// BytesAt converts a payload size and a bandwidth in MB/s into the
+// serialization Duration for that payload.
+func BytesAt(bytes int64, mbPerSec float64) Duration {
+	if mbPerSec <= 0 {
+		panic("sim: non-positive bandwidth")
+	}
+	// 1 MB/s == 1 byte/us == 1e-3 bytes/ns.
+	return Duration(math.Round(float64(bytes) / mbPerSec * 1e3))
+}

@@ -1,0 +1,198 @@
+package topo
+
+import "fmt"
+
+// FatTree is a k-ary n-tree, the standard formalization of the fat-tree
+// networks built from constant-radix crossbars:
+//
+//   - k^n processing nodes (hosts), each labeled by n base-k digits
+//     d_{n-1} ... d_0;
+//   - n * k^(n-1) switches of radix 2k, labeled <l, c> with level
+//     l in [0, n) and an (n-1)-digit base-k tuple c;
+//   - host d is attached to leaf switch <0, d/k>;
+//   - switch <l, c> connects upward to every <l+1, c'> whose label agrees
+//     with c in all positions except position l.
+//
+// Quadrics QsNet is a quaternary (k=4) fat tree of Elite switches; the
+// paper's Elan3 cluster uses a "dimension two, quaternary fat tree"
+// (k=4, n=2, Elite-16). Myrinet Clos networks beyond a single crossbar are
+// modeled as k=8 trees of 16-port switches.
+//
+// Routing ascends straight up to the lowest common ancestor level (the
+// most significant digit where source and destination differ), then
+// descends deterministically, fixing one destination digit per level.
+// This is minimal up*/down routing; a route through level m crosses
+// 2m+1 switches.
+type FatTree struct {
+	k, n    int
+	hosts   int
+	swPerLv int // k^(n-1)
+	links   map[linkKey]int
+	ends    []linkKey
+}
+
+type linkKey struct {
+	from, to int // encoded node IDs
+}
+
+// NewFatTree constructs a k-ary n-tree. It panics for k < 2 or n < 1;
+// use MinFatTree to size a tree for a host count.
+func NewFatTree(k, n int) *FatTree {
+	if k < 2 {
+		panic("topo: fat tree arity must be >= 2")
+	}
+	if n < 1 {
+		panic("topo: fat tree dimension must be >= 1")
+	}
+	hosts := pow(k, n)
+	t := &FatTree{
+		k:       k,
+		n:       n,
+		hosts:   hosts,
+		swPerLv: pow(k, n-1),
+		links:   make(map[linkKey]int),
+	}
+	t.build()
+	return t
+}
+
+// MinFatTree returns the smallest k-ary n-tree with at least hosts
+// endpoints (n = ceil(log_k hosts), at minimum 1).
+func MinFatTree(k, hosts int) *FatTree {
+	if hosts < 1 {
+		panic("topo: need at least one host")
+	}
+	n := 1
+	for cap := k; cap < hosts; cap *= k {
+		n++
+	}
+	return NewFatTree(k, n)
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// Node encoding: hosts occupy [0, hosts); switch <l, c> is encoded as
+// hosts + l*swPerLv + c.
+func (t *FatTree) swID(level, c int) int { return t.hosts + level*t.swPerLv + c }
+
+func (t *FatTree) addLink(from, to int) {
+	key := linkKey{from, to}
+	if _, dup := t.links[key]; dup {
+		panic("topo: duplicate link in fat tree construction")
+	}
+	t.links[key] = len(t.ends)
+	t.ends = append(t.ends, key)
+}
+
+func (t *FatTree) build() {
+	// Host <-> leaf links.
+	for h := 0; h < t.hosts; h++ {
+		leaf := t.swID(0, h/t.k)
+		t.addLink(h, leaf)
+		t.addLink(leaf, h)
+	}
+	// Inter-switch links between level l and l+1: labels agree except at
+	// position l, where each of the k values of the upper label appears.
+	for l := 0; l+1 < t.n; l++ {
+		stride := pow(t.k, l)
+		for c := 0; c < t.swPerLv; c++ {
+			lower := t.swID(l, c)
+			base := c - (c/stride%t.k)*stride // c with position l zeroed
+			for d := 0; d < t.k; d++ {
+				upper := t.swID(l+1, base+d*stride)
+				t.addLink(lower, upper)
+				t.addLink(upper, lower)
+			}
+		}
+	}
+}
+
+func (t *FatTree) Name() string { return fmt.Sprintf("fattree-%dary-%dtree", t.k, t.n) }
+
+func (t *FatTree) Hosts() int { return t.hosts }
+
+func (t *FatTree) LinkCount() int { return len(t.ends) }
+
+func (t *FatTree) Levels() int { return t.n }
+
+// Arity reports k.
+func (t *FatTree) Arity() int { return t.k }
+
+// ncaLevel reports the most significant base-k digit position where src
+// and dst differ; routing must ascend to switch level ncaLevel.
+func (t *FatTree) ncaLevel(src, dst int) int {
+	m := 0
+	for i := 0; i < t.n; i++ {
+		if src%t.k != dst%t.k {
+			m = i
+		}
+		src /= t.k
+		dst /= t.k
+	}
+	return m
+}
+
+func (t *FatTree) SwitchHops(src, dst int) int {
+	checkHostRange(t, src, dst)
+	if src == dst {
+		return 0
+	}
+	return 2*t.ncaLevel(src, dst) + 1
+}
+
+func (t *FatTree) linkID(from, to int) int {
+	id, ok := t.links[linkKey{from, to}]
+	if !ok {
+		panic(fmt.Sprintf("topo: no link %d->%d", from, to))
+	}
+	return id
+}
+
+func (t *FatTree) Route(src, dst int) []int {
+	checkHostRange(t, src, dst)
+	if src == dst {
+		return nil
+	}
+	m := t.ncaLevel(src, dst)
+	path := make([]int, 0, 2*m+2)
+
+	// Ascend straight up: the switch label stays src/k all the way.
+	c := src / t.k
+	path = append(path, t.linkID(src, t.swID(0, c)))
+	for l := 0; l < m; l++ {
+		path = append(path, t.linkID(t.swID(l, c), t.swID(l+1, c)))
+	}
+	// Descend, fixing label position l to the destination's digit d_{l+1}
+	// at each step from level l+1 to level l.
+	for l := m - 1; l >= 0; l-- {
+		stride := pow(t.k, l)
+		digit := dst / pow(t.k, l+1) % t.k
+		next := c - (c/stride%t.k)*stride + digit*stride
+		path = append(path, t.linkID(t.swID(l+1, c), t.swID(l, next)))
+		c = next
+	}
+	path = append(path, t.linkID(t.swID(0, c), dst))
+	return path
+}
+
+func (t *FatTree) LinkEnds(link int) (string, string) {
+	if link < 0 || link >= len(t.ends) {
+		panic(fmt.Sprintf("topo: link %d out of range", link))
+	}
+	key := t.ends[link]
+	return t.nodeName(key.from), t.nodeName(key.to)
+}
+
+func (t *FatTree) nodeName(id int) string {
+	if id < t.hosts {
+		return fmt.Sprintf("host%d", id)
+	}
+	id -= t.hosts
+	return fmt.Sprintf("sw<%d,%d>", id/t.swPerLv, id%t.swPerLv)
+}

@@ -1,0 +1,487 @@
+// Package nicbarrier is a reproduction of "Efficient and Scalable Barrier
+// over Quadrics and Myrinet with a New NIC-Based Collective Message
+// Passing Protocol" (Yu, Buntinas, Graham, Panda — IPPS 2004) as a
+// software-simulated system: the interconnects the paper ran on (Quadrics
+// QsNet/Elan3 and Myrinet/LANai) no longer exist, so this library models
+// them with a deterministic discrete-event simulation at the level the
+// paper's results depend on — NIC firmware handler costs, PCI/PCI-X bus
+// transactions, cut-through switching and wire latencies.
+//
+// The facade in this package is the supported public API: one-shot
+// barrier/broadcast measurements over a chosen interconnect and scheme,
+// the paper's experiment suite (figures 5-8, the headline summary, and
+// two ablations), and the analytical scalability model. The internal
+// packages expose the full substrates for advanced use.
+//
+// A minimal measurement:
+//
+//	res, err := nicbarrier.MeasureBarrier(nicbarrier.Config{
+//		Interconnect: nicbarrier.MyrinetLANaiXP,
+//		Nodes:        8,
+//		Scheme:       nicbarrier.NICCollective,
+//		Algorithm:    nicbarrier.Dissemination,
+//	}, 100, 10000)
+//
+// reproduces the paper's 14.20us headline number.
+package nicbarrier
+
+import (
+	"fmt"
+
+	"nicbarrier/internal/barrier"
+	"nicbarrier/internal/core"
+	"nicbarrier/internal/elan"
+	"nicbarrier/internal/harness"
+	"nicbarrier/internal/hwprofile"
+	"nicbarrier/internal/model"
+	"nicbarrier/internal/myrinet"
+	"nicbarrier/internal/netsim"
+	"nicbarrier/internal/sim"
+)
+
+// Interconnect selects one of the paper's three testbeds.
+type Interconnect int
+
+// The paper's testbeds.
+const (
+	// MyrinetLANai91: 16-node quad 700 MHz PIII, LANai 9.1 (133 MHz),
+	// 66 MHz/64-bit PCI (Fig. 5).
+	MyrinetLANai91 Interconnect = iota
+	// MyrinetLANaiXP: 8-node dual 2.4 GHz Xeon, LANai-XP (225 MHz),
+	// PCI-X (Fig. 6).
+	MyrinetLANaiXP
+	// QuadricsElan3: 8-node 700 MHz PIII, Elan3 QM-400 on an Elite
+	// quaternary fat tree (Fig. 7).
+	QuadricsElan3
+)
+
+// String implements fmt.Stringer.
+func (ic Interconnect) String() string {
+	switch ic {
+	case MyrinetLANai91:
+		return "myrinet-lanai9.1"
+	case MyrinetLANaiXP:
+		return "myrinet-lanai-xp"
+	case QuadricsElan3:
+		return "quadrics-elan3"
+	default:
+		return fmt.Sprintf("Interconnect(%d)", int(ic))
+	}
+}
+
+// Scheme selects the barrier implementation.
+type Scheme int
+
+// Barrier schemes across both interconnects.
+const (
+	// HostBased drives every step from the host over p2p messaging
+	// (GM-style on Myrinet, host-driven gather-broadcast tree on
+	// Quadrics, where it corresponds to elan_gsync).
+	HostBased Scheme = iota
+	// NICDirect is the earlier NIC-based scheme layered on the p2p
+	// protocol (Myrinet only).
+	NICDirect
+	// NICCollective is the paper's protocol: on Myrinet the collective
+	// MCP module, on Quadrics the chained-RDMA descriptor list.
+	NICCollective
+	// HardwareBroadcast is elan_hgsync (Quadrics only).
+	HardwareBroadcast
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case HostBased:
+		return "host-based"
+	case NICDirect:
+		return "nic-direct"
+	case NICCollective:
+		return "nic-collective"
+	case HardwareBroadcast:
+		return "hardware-broadcast"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Algorithm selects the barrier algorithm.
+type Algorithm int
+
+// The paper's Section 5 algorithms.
+const (
+	Dissemination Algorithm = iota
+	PairwiseExchange
+	GatherBroadcast
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string { return a.internal().String() }
+
+func (a Algorithm) internal() barrier.Algorithm {
+	switch a {
+	case Dissemination:
+		return barrier.Dissemination
+	case PairwiseExchange:
+		return barrier.PairwiseExchange
+	case GatherBroadcast:
+		return barrier.GatherBroadcast
+	default:
+		panic(fmt.Sprintf("nicbarrier: unknown algorithm %d", int(a)))
+	}
+}
+
+// Config describes one measurement setup.
+type Config struct {
+	Interconnect Interconnect
+	// Nodes is the number of barrier participants. Clusters are sized
+	// to the testbed (16, 8, up to 1024 for scalability studies).
+	Nodes     int
+	Scheme    Scheme
+	Algorithm Algorithm
+	// TreeDegree is the gather-broadcast arity (0: the default of 4).
+	TreeDegree int
+	// LossRate injects random packet loss (Myrinet only; Quadrics is
+	// hardware-reliable). Recovery traffic shows up in Result.
+	LossRate float64
+	// Seed drives node permutation and loss; 0 is a valid seed.
+	Seed uint64
+	// Permute randomizes which physical nodes host the ranks, as the
+	// paper's methodology does.
+	Permute bool
+}
+
+// Result summarizes one measurement.
+type Result struct {
+	// Latency statistics over the measured iterations, microseconds.
+	MeanMicros, MinMicros, MaxMicros, StdMicros float64
+	Iterations                                  int
+	// PacketsPerBarrier is the wire traffic per operation (all kinds).
+	PacketsPerBarrier float64
+	// Retransmissions counts recovery packets over the whole run (loss
+	// injection only).
+	Retransmissions uint64
+}
+
+func (c Config) validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("nicbarrier: Nodes = %d", c.Nodes)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("nicbarrier: LossRate = %v outside [0,1)", c.LossRate)
+	}
+	quadrics := c.Interconnect == QuadricsElan3
+	if c.Scheme == HardwareBroadcast && !quadrics {
+		return fmt.Errorf("nicbarrier: hardware broadcast barrier needs Quadrics")
+	}
+	if c.Scheme == NICDirect && quadrics {
+		return fmt.Errorf("nicbarrier: the direct scheme is a Myrinet baseline")
+	}
+	if quadrics && c.LossRate > 0 {
+		return fmt.Errorf("nicbarrier: Quadrics provides hardware reliability; no loss injection")
+	}
+	return nil
+}
+
+func (c Config) ids() []int {
+	if !c.Permute {
+		ids := make([]int, c.Nodes)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	}
+	return sim.NewRNG(c.Seed ^ 0xbadc0ffee).Perm(c.Nodes)
+}
+
+// MeasureBarrier runs warmup+iters consecutive barriers under cfg and
+// returns latency statistics, mirroring the paper's measurement loop.
+func MeasureBarrier(cfg Config, warmup, iters int) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if warmup < 0 || iters < 1 {
+		return Result{}, fmt.Errorf("nicbarrier: warmup %d / iters %d", warmup, iters)
+	}
+	switch cfg.Interconnect {
+	case MyrinetLANai91, MyrinetLANaiXP:
+		return measureMyrinet(cfg, warmup, iters)
+	case QuadricsElan3:
+		return measureElan(cfg, warmup, iters)
+	default:
+		return Result{}, fmt.Errorf("nicbarrier: unknown interconnect %d", int(cfg.Interconnect))
+	}
+}
+
+func myrinetProfile(ic Interconnect) hwprofile.MyrinetProfile {
+	if ic == MyrinetLANai91 {
+		return hwprofile.LANai91Cluster()
+	}
+	return hwprofile.LANaiXPCluster()
+}
+
+func measureMyrinet(cfg Config, warmup, iters int) (Result, error) {
+	eng := sim.NewEngine()
+	var loss netsim.LossModel
+	if cfg.LossRate > 0 {
+		loss = &netsim.RandomLoss{Rate: cfg.LossRate, RNG: sim.NewRNG(cfg.Seed + 1)}
+	}
+	cl := myrinet.NewCluster(eng, myrinetProfile(cfg.Interconnect), cfg.Nodes, loss)
+	var scheme myrinet.Scheme
+	switch cfg.Scheme {
+	case HostBased:
+		scheme = myrinet.SchemeHost
+	case NICDirect:
+		scheme = myrinet.SchemeDirect
+	case NICCollective:
+		scheme = myrinet.SchemeCollective
+	default:
+		return Result{}, fmt.Errorf("nicbarrier: scheme %v unsupported on Myrinet", cfg.Scheme)
+	}
+	s := myrinet.NewSession(cl, cfg.ids(), scheme, cfg.Algorithm.internal(),
+		barrier.Options{TreeDegree: cfg.TreeDegree})
+	doneAt := s.Run(warmup + iters)
+	eng.Run() // drain trailing ACKs and events for accurate counters
+	st := harness.LatencyStats(doneAt, warmup)
+	nic := cl.Stats()
+	net := cl.Net.Counters()
+	return Result{
+		MeanMicros: st.MeanUS, MinMicros: st.MinUS, MaxMicros: st.MaxUS,
+		StdMicros: st.StdUS, Iterations: st.Iterations,
+		PacketsPerBarrier: float64(net.Sent) / float64(warmup+iters),
+		Retransmissions:   nic.Retransmits + nic.CollResent,
+	}, nil
+}
+
+func measureElan(cfg Config, warmup, iters int) (Result, error) {
+	eng := sim.NewEngine()
+	cl := elan.NewCluster(eng, hwprofile.Elan3Cluster(), cfg.Nodes)
+	var scheme elan.Scheme
+	alg := cfg.Algorithm.internal()
+	switch cfg.Scheme {
+	case HostBased:
+		scheme = elan.SchemeGsync
+		alg = barrier.GatherBroadcast
+	case NICCollective:
+		scheme = elan.SchemeChained
+	case HardwareBroadcast:
+		scheme = elan.SchemeHW
+	default:
+		return Result{}, fmt.Errorf("nicbarrier: scheme %v unsupported on Quadrics", cfg.Scheme)
+	}
+	s := elan.NewSession(cl, cfg.ids(), scheme, alg,
+		barrier.Options{TreeDegree: cfg.TreeDegree})
+	doneAt := s.Run(warmup + iters)
+	eng.Run()
+	st := harness.LatencyStats(doneAt, warmup)
+	net := cl.Net.Counters()
+	return Result{
+		MeanMicros: st.MeanUS, MinMicros: st.MinUS, MaxMicros: st.MaxUS,
+		StdMicros: st.StdUS, Iterations: st.Iterations,
+		PacketsPerBarrier: float64(net.Sent) / float64(warmup+iters),
+	}, nil
+}
+
+// MeasureBroadcast runs the NIC-based broadcast extension on a Myrinet
+// cluster: the root's notification fans down a degree-ary tree entirely
+// on the NICs.
+func MeasureBroadcast(cfg Config, root, degree, warmup, iters int) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Interconnect == QuadricsElan3 {
+		return Result{}, fmt.Errorf("nicbarrier: NIC-based broadcast is implemented on Myrinet")
+	}
+	if root < 0 || root >= cfg.Nodes {
+		return Result{}, fmt.Errorf("nicbarrier: root %d outside group of %d", root, cfg.Nodes)
+	}
+	if warmup < 0 || iters < 1 {
+		return Result{}, fmt.Errorf("nicbarrier: warmup %d / iters %d", warmup, iters)
+	}
+	eng := sim.NewEngine()
+	var loss netsim.LossModel
+	if cfg.LossRate > 0 {
+		loss = &netsim.RandomLoss{Rate: cfg.LossRate, RNG: sim.NewRNG(cfg.Seed + 1)}
+	}
+	cl := myrinet.NewCluster(eng, myrinetProfile(cfg.Interconnect), cfg.Nodes, loss)
+	s := myrinet.NewBroadcastSession(cl, cfg.ids(), root, degree)
+	doneAt := s.Run(warmup + iters)
+	eng.Run()
+	st := harness.LatencyStats(doneAt, warmup)
+	nic := cl.Stats()
+	net := cl.Net.Counters()
+	return Result{
+		MeanMicros: st.MeanUS, MinMicros: st.MinUS, MaxMicros: st.MaxUS,
+		StdMicros: st.StdUS, Iterations: st.Iterations,
+		PacketsPerBarrier: float64(net.Sent) / float64(warmup+iters),
+		Retransmissions:   nic.Retransmits + nic.CollResent,
+	}, nil
+}
+
+// ReduceOperator selects the combining operator of a NIC-based allreduce.
+type ReduceOperator int
+
+// Allreduce operators.
+const (
+	Sum ReduceOperator = iota
+	Min
+	Max
+)
+
+func (op ReduceOperator) internal() core.ReduceOp {
+	switch op {
+	case Sum:
+		return core.ReduceSum
+	case Min:
+		return core.ReduceMin
+	case Max:
+		return core.ReduceMax
+	default:
+		panic(fmt.Sprintf("nicbarrier: unknown operator %d", int(op)))
+	}
+}
+
+// String implements fmt.Stringer.
+func (op ReduceOperator) String() string { return op.internal().String() }
+
+// MeasureAllreduce runs a NIC-based single-word allreduce over the
+// collective protocol (the future-work extension of the paper's Section
+// 9) on a Myrinet cluster, self-checking every iteration's result against
+// the reference reduction. It fails for operator/algorithm combinations
+// that cannot be exact (sum over non-power-of-two dissemination).
+func MeasureAllreduce(cfg Config, op ReduceOperator, warmup, iters int) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Interconnect == QuadricsElan3 {
+		return Result{}, fmt.Errorf("nicbarrier: NIC-based allreduce is implemented on Myrinet")
+	}
+	if warmup < 0 || iters < 1 {
+		return Result{}, fmt.Errorf("nicbarrier: warmup %d / iters %d", warmup, iters)
+	}
+	eng := sim.NewEngine()
+	var loss netsim.LossModel
+	if cfg.LossRate > 0 {
+		loss = &netsim.RandomLoss{Rate: cfg.LossRate, RNG: sim.NewRNG(cfg.Seed + 1)}
+	}
+	cl := myrinet.NewCluster(eng, myrinetProfile(cfg.Interconnect), cfg.Nodes, loss)
+	contrib := func(rank, iter int) int64 { return int64(rank*131 + iter*17 - 64) }
+	s, err := myrinet.NewAllreduceSession(cl, cfg.ids(), cfg.Algorithm.internal(),
+		barrier.Options{TreeDegree: cfg.TreeDegree}, op.internal(), contrib)
+	if err != nil {
+		return Result{}, err
+	}
+	doneAt := s.Run(warmup + iters)
+	eng.Run()
+	// Self-check: every rank of every iteration must hold the reference
+	// reduction.
+	for iter, row := range s.Results() {
+		want := contrib(0, iter)
+		for r := 1; r < cfg.Nodes; r++ {
+			want = op.internal().Combine(want, contrib(r, iter))
+		}
+		for rank, got := range row {
+			if got != want {
+				return Result{}, fmt.Errorf(
+					"nicbarrier: allreduce iteration %d rank %d: got %d, want %d", iter, rank, got, want)
+			}
+		}
+	}
+	st := harness.LatencyStats(doneAt, warmup)
+	nic := cl.Stats()
+	net := cl.Net.Counters()
+	return Result{
+		MeanMicros: st.MeanUS, MinMicros: st.MinUS, MaxMicros: st.MaxUS,
+		StdMicros: st.StdUS, Iterations: st.Iterations,
+		PacketsPerBarrier: float64(net.Sent) / float64(warmup+iters),
+		Retransmissions:   nic.Retransmits + nic.CollResent,
+	}, nil
+}
+
+// Fidelity selects how closely the experiment loop follows the paper.
+type Fidelity int
+
+// Fidelity levels.
+const (
+	// Quick uses small iteration counts (seconds per experiment).
+	Quick Fidelity = iota
+	// PaperFidelity uses 100 warmup + 10,000 measured iterations as in
+	// Section 8 (scaled down automatically above 64 nodes).
+	PaperFidelity
+)
+
+// Experiments lists the runnable experiment IDs (fig5, fig6, fig7,
+// fig8a, fig8b, summary, ablation, packets).
+func Experiments() []string { return harness.Experiments() }
+
+// RunExperiment regenerates one paper artifact and returns its rendered
+// table.
+func RunExperiment(id string, f Fidelity) (string, error) {
+	cfg := harness.Quick()
+	if f == PaperFidelity {
+		cfg = harness.PaperFidelity()
+	}
+	return harness.Run(id, cfg)
+}
+
+// ScalabilityModel holds fitted analytical-model parameters
+// (microseconds), per Section 8.3.
+type ScalabilityModel struct {
+	Tinit, Ttrig, Tadj float64
+	// Equation is the model in the paper's notation.
+	Equation string
+}
+
+// Predict evaluates the model at n nodes.
+func (m ScalabilityModel) Predict(n int) float64 {
+	return model.Model{Tinit: m.Tinit, Ttrig: m.Ttrig, Tadj: m.Tadj}.Predict(n)
+}
+
+// FitScalabilityModel measures the NIC-based dissemination barrier at
+// power-of-two sizes up to maxNodes and fits the paper's analytical
+// model to the results.
+func FitScalabilityModel(ic Interconnect, maxNodes int, f Fidelity) (ScalabilityModel, error) {
+	if maxNodes < 4 {
+		return ScalabilityModel{}, fmt.Errorf("nicbarrier: need maxNodes >= 4, got %d", maxNodes)
+	}
+	cfg := harness.Quick()
+	if f == PaperFidelity {
+		cfg = harness.PaperFidelity()
+	}
+	var ns []int
+	var ys []float64
+	for n := 2; n <= maxNodes; n *= 2 {
+		var lat float64
+		switch ic {
+		case QuadricsElan3:
+			lat = harness.MeasureElan(cfg, n, n, elan.SchemeChained, barrier.Dissemination)
+		case MyrinetLANai91, MyrinetLANaiXP:
+			lat = harness.MeasureMyrinet(cfg, myrinetProfile(ic), n, n,
+				myrinet.SchemeCollective, barrier.Dissemination)
+		default:
+			return ScalabilityModel{}, fmt.Errorf("nicbarrier: unknown interconnect %d", int(ic))
+		}
+		ns = append(ns, n)
+		ys = append(ys, lat)
+	}
+	m, err := model.Fit(ns, ys)
+	if err != nil {
+		return ScalabilityModel{}, err
+	}
+	return ScalabilityModel{Tinit: m.Tinit, Ttrig: m.Ttrig, Tadj: m.Tadj, Equation: m.String()}, nil
+}
+
+// PaperModel returns the paper's published model for an interconnect
+// (Section 8.3); MyrinetLANai91 has no published model and returns ok
+// false.
+func PaperModel(ic Interconnect) (ScalabilityModel, bool) {
+	switch ic {
+	case MyrinetLANaiXP:
+		m := model.PaperMyrinetXP()
+		return ScalabilityModel{Tinit: m.Tinit, Ttrig: m.Ttrig, Tadj: m.Tadj, Equation: m.String()}, true
+	case QuadricsElan3:
+		m := model.PaperQuadrics()
+		return ScalabilityModel{Tinit: m.Tinit, Ttrig: m.Ttrig, Tadj: m.Tadj, Equation: m.String()}, true
+	default:
+		return ScalabilityModel{}, false
+	}
+}
