@@ -74,6 +74,12 @@ func render(id string, cfg harness.Config, format string) (string, error) {
 		return harness.Packets(cfg).TSV(), nil
 	case "skew":
 		return harness.Skew(cfg).TSV(), nil
+	case "faults":
+		return harness.FaultLossSweep(cfg).TSV(), nil
+	case "faults-burst":
+		return harness.FaultBurstSweep(cfg).TSV(), nil
+	case "faults-jitter":
+		return harness.FaultJitterSweep(cfg).TSV(), nil
 	case "summary":
 		return harness.Summary(cfg).Render(), nil // no TSV form
 	default:

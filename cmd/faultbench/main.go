@@ -1,0 +1,263 @@
+// Command faultbench runs named fault-injection scenarios against the
+// simulated interconnects and prints a summary table: barrier latency,
+// wire traffic, drops and recovery retransmissions under each impairment.
+// It is the CLI face of the internal/fault subsystem.
+//
+// Examples:
+//
+//	faultbench -list
+//	faultbench -scenario lossy-myrinet
+//	faultbench -all
+//	faultbench -scenario partition-heal -iters 200 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nicbarrier"
+)
+
+// run is one measurement inside a scenario.
+type run struct {
+	label  string
+	cfg    nicbarrier.Config
+	warmup int
+	iters  int
+}
+
+// scenario is a named fault experiment: one or more runs plus a closing
+// note explaining what the numbers demonstrate.
+type scenario struct {
+	name string
+	desc string
+	runs []run
+	note string
+	// minNodes guards -nodes overrides: node-scoped faults reference
+	// physical node IDs, and shrinking the cluster below them would
+	// silently neutralize the fault.
+	minNodes int
+}
+
+func scenarios() []scenario {
+	myri := func(nodes int, faults ...nicbarrier.Fault) nicbarrier.Config {
+		return nicbarrier.Config{
+			Interconnect: nicbarrier.MyrinetLANaiXP,
+			Nodes:        nodes,
+			Scheme:       nicbarrier.NICCollective,
+			Algorithm:    nicbarrier.Dissemination,
+			Faults:       faults,
+			Permute:      true,
+			Seed:         1,
+		}
+	}
+	quad := func(nodes int, faults ...nicbarrier.Fault) nicbarrier.Config {
+		return nicbarrier.Config{
+			Interconnect: nicbarrier.QuadricsElan3,
+			Nodes:        nodes,
+			Scheme:       nicbarrier.NICCollective,
+			Algorithm:    nicbarrier.Dissemination,
+			Faults:       faults,
+			Permute:      true,
+			Seed:         1,
+		}
+	}
+	return []scenario{
+		{
+			name: "lossy-myrinet",
+			desc: "64-node dissemination barrier under 10% random loss",
+			runs: []run{
+				{"clean", myri(64), 5, 50},
+				{"loss-10%", myri(64, nicbarrier.FaultRandomLoss(0.10)), 5, 50},
+			},
+			note: "every barrier completed: lost notifications were re-requested by the\n" +
+				"receiver-driven NACK path and re-fired from the bit-vector send record",
+		},
+		{
+			name: "bursty-myrinet",
+			desc: "16-node barrier under Gilbert–Elliott burst loss (5% loss, mean burst 4)",
+			runs: []run{
+				{"uniform-5%", myri(16, nicbarrier.FaultRandomLoss(0.05)), 5, 60},
+				{"burst-5%x4", myri(16, nicbarrier.FaultBurstLoss(0.05, 4)), 5, 60},
+			},
+			note: "same loss rate, different clustering: bursts concentrate drops in fewer\n" +
+				"barriers, so fewer (but heavier) recovery rounds",
+		},
+		{
+			name: "every-nth",
+			desc: "16-node barrier dropping every 50th collective packet",
+			runs: []run{
+				{"every-50th", myri(16, nicbarrier.FaultEveryNth(50).OnKinds("barrier-coll")), 5, 60},
+			},
+			note: "deterministic drops (aerolab-style every-Nth mode): reproducible\n" +
+				"single-loss recovery without RNG variance",
+		},
+		{
+			name: "partition-heal",
+			desc: "16-node barrier with links 3<->7 partitioned from t=50us to t=200us",
+			runs: []run{
+				// Identity placement (no permutation) so ranks 3 and 7
+				// really sit on the partitioned nodes: in 16-rank
+				// dissemination, rank 3 notifies rank 7 at distance 4.
+				{"partition", unpermuted(myri(16, nicbarrier.FaultPartition(3, 7).Between(50, 200))), 5, 60},
+			},
+			minNodes: 8,
+			note: "packets between the pair die per-hop inside the window; after the heal,\n" +
+				"NACK retransmission repairs the missed rounds and the run completes",
+		},
+		{
+			name: "crash-recover",
+			desc: "16-node barrier with node 5 crashed from t=0 to t=300us",
+			runs: []run{
+				{"crash-300us", unpermuted(myri(16, nicbarrier.FaultCrash(5).Between(0, 300))), 5, 60},
+			},
+			minNodes: 6,
+			note: "while crashed, everything node 5 sends or receives is dropped; recovery\n" +
+				"retransmissions resynchronize it once the window closes",
+		},
+		{
+			name: "slow-nic",
+			desc: "16-node barrier with node 0 injecting 5us slower per packet",
+			runs: []run{
+				{"clean", myri(16), 5, 60},
+				{"slow-node0", myri(16, nicbarrier.FaultSlowNIC(0, 5)), 5, 60},
+			},
+			minNodes: 2,
+			note: "one degraded NIC slows every barrier: dissemination makes each rank a\n" +
+				"dependency of every other within log2(n) rounds",
+		},
+		{
+			name: "throttled-myrinet",
+			desc: "8-node barrier with the wire throttled to 25 MB/s",
+			runs: []run{
+				{"clean", myri(8), 5, 60},
+				{"25MBps", myri(8, nicbarrier.FaultThrottle(25)), 5, 60},
+			},
+			note: "barrier packets are tiny, so even harsh throttling costs little — the\n" +
+				"protocol is latency-, not bandwidth-bound (Section 6.3's small static packet)",
+		},
+		{
+			name: "jittery-quadrics",
+			desc: "16-node Quadrics chained-RDMA barrier under 1us + [0,3)us jitter",
+			runs: []run{
+				{"clean", quad(16), 5, 60},
+				{"jitter", quad(16, nicbarrier.FaultDelay(1, 3)), 5, 60},
+			},
+			note: "latency-type faults reach Quadrics: hardware reliability protects\n" +
+				"against loss, not against a slow network",
+		},
+		{
+			name: "quadrics-loss-immune",
+			desc: "16-node Quadrics barrier with a 20% loss plan (stripped by hardware reliability)",
+			runs: []run{
+				{"clean", quad(16), 5, 60},
+				{"loss-20%", quad(16, nicbarrier.FaultRandomLoss(0.20)), 5, 60},
+			},
+			note: "identical rows: loss-type faults cannot touch a hardware-reliable\n" +
+				"interconnect, exactly the Quadrics/Myrinet contrast the paper draws",
+		},
+	}
+}
+
+func main() {
+	name := flag.String("scenario", "", "scenario to run (see -list)")
+	all := flag.Bool("all", false, "run every scenario")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	iters := flag.Int("iters", 0, "override measured iterations per run")
+	warmup := flag.Int("warmup", -1, "override warmup iterations per run")
+	nodes := flag.Int("nodes", 0, "override node count per run")
+	seed := flag.Uint64("seed", 0, "override permutation/fault seed per run")
+	flag.Parse()
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true // 0 is a valid seed, so presence, not value, decides
+		}
+	})
+
+	scens := scenarios()
+	if *list {
+		for _, sc := range scens {
+			fmt.Printf("  %-22s %s\n", sc.name, sc.desc)
+		}
+		return
+	}
+	var selected []scenario
+	switch {
+	case *all:
+		selected = scens
+	case *name != "":
+		for _, sc := range scens {
+			if sc.name == *name {
+				selected = []scenario{sc}
+			}
+		}
+		if selected == nil {
+			var names []string
+			for _, sc := range scens {
+				names = append(names, sc.name)
+			}
+			fatalf("unknown scenario %q (have: %s)", *name, strings.Join(names, ", "))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "pick -scenario <name>, -all, or -list")
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-22s %-12s %-10s %5s %6s %10s %10s %9s %8s %8s\n",
+		"scenario", "run", "net", "nodes", "iters", "mean(us)", "max(us)", "pkts/bar", "drops", "retx")
+	for _, sc := range selected {
+		if *nodes > 0 && *nodes < sc.minNodes {
+			fatalf("scenario %s scopes faults to node IDs that need at least %d nodes (got -nodes %d)",
+				sc.name, sc.minNodes, *nodes)
+		}
+		for _, r := range sc.runs {
+			if *iters > 0 {
+				r.iters = *iters
+			}
+			if *warmup >= 0 {
+				r.warmup = *warmup
+			}
+			if *nodes > 0 {
+				r.cfg.Nodes = *nodes
+			}
+			if seedSet {
+				r.cfg.Seed = *seed
+			}
+			res, err := nicbarrier.MeasureBarrier(r.cfg, r.warmup, r.iters)
+			if err != nil {
+				fatalf("%s/%s: %v", sc.name, r.label, err)
+			}
+			fmt.Printf("%-22s %-12s %-10s %5d %6d %10.2f %10.2f %9.1f %8d %8d\n",
+				sc.name, r.label, netName(r.cfg.Interconnect), r.cfg.Nodes, res.Iterations,
+				res.MeanMicros, res.MaxMicros, res.PacketsPerBarrier,
+				res.DroppedPackets, res.Retransmissions)
+		}
+		fmt.Printf("  note: %s\n", strings.ReplaceAll(sc.note, "\n", "\n        "))
+	}
+}
+
+// unpermuted pins rank r to physical node r, for scenarios whose fault
+// scope names specific nodes.
+func unpermuted(cfg nicbarrier.Config) nicbarrier.Config {
+	cfg.Permute = false
+	return cfg
+}
+
+func netName(ic nicbarrier.Interconnect) string {
+	switch ic {
+	case nicbarrier.QuadricsElan3:
+		return "quadrics"
+	case nicbarrier.MyrinetLANai91:
+		return "lanai9.1"
+	default:
+		return "lanai-xp"
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "faultbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module nicbarrier
+
+go 1.24

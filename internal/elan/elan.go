@@ -332,6 +332,20 @@ func NewCluster(eng *sim.Engine, prof hwprofile.QuadricsProfile, n int) *Cluster
 	return cl
 }
 
+// SetFaults installs a fault-injection impairment on the cluster's
+// network, wrapped in netsim.DelayOnly: QsNet provides hardware-level
+// reliable delivery, so loss-type effects (drop, reject, crash, blocking)
+// are stripped and only latency-type effects (delay, jitter, throttling)
+// take hold. A loss-only plan therefore leaves a Quadrics cluster's
+// behavior bit-identical to the fault-free run.
+func (cl *Cluster) SetFaults(imp netsim.Impairment) {
+	if imp == nil {
+		cl.Net.SetImpairment(nil)
+		return
+	}
+	cl.Net.SetImpairment(netsim.DelayOnly{Inner: imp})
+}
+
 // Levels reports the fat-tree depth, which the hardware barrier's cost
 // scales with.
 func (cl *Cluster) Levels() int { return cl.Net.Topology().Levels() }

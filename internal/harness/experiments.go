@@ -304,7 +304,8 @@ func Skew(cfg Config) Figure {
 
 // Experiments lists every runnable experiment by ID.
 func Experiments() []string {
-	return []string{"fig5", "fig6", "fig7", "fig8a", "fig8b", "summary", "ablation", "packets", "skew"}
+	return []string{"fig5", "fig6", "fig7", "fig8a", "fig8b", "summary", "ablation", "packets", "skew",
+		"faults", "faults-burst", "faults-jitter"}
 }
 
 // Run executes one experiment by ID, returning its rendered table.
@@ -328,6 +329,12 @@ func Run(id string, cfg Config) (string, error) {
 		return Packets(cfg).Table(), nil
 	case "skew":
 		return Skew(cfg).Table(), nil
+	case "faults":
+		return FaultLossSweep(cfg).Table(), nil
+	case "faults-burst":
+		return FaultBurstSweep(cfg).Table(), nil
+	case "faults-jitter":
+		return FaultJitterSweep(cfg).Table(), nil
 	default:
 		return "", fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
 	}

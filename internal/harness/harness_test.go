@@ -137,7 +137,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 	if _, err := Run("nope", tinyCfg()); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if len(Experiments()) != 9 {
+	if len(Experiments()) != 12 {
 		t.Fatalf("experiment list: %v", Experiments())
 	}
 }
@@ -150,15 +150,18 @@ func TestAllExperimentsRun(t *testing.T) {
 	}
 	cfg := tinyCfg()
 	wants := map[string][]string{
-		"fig5":     {"NIC-DS", "Host-PE"},
-		"fig6":     {"NIC-DS", "Host-PE"},
-		"fig7":     {"NIC-Barrier-DS", "Elan-HW-Barrier"},
-		"fig8a":    {"Model", "Measured", "Paper-Model", "fitted"},
-		"fig8b":    {"Model", "Measured", "Paper-Model", "fitted"},
-		"summary":  {"Quadrics NIC-based barrier", "paper", "measured"},
-		"ablation": {"XP-Collective", "9.1-Host"},
-		"packets":  {"Collective", "Direct(ACKed)"},
-		"skew":     {"NIC-Barrier-DS", "Elan-HW-Barrier"},
+		"fig5":          {"NIC-DS", "Host-PE"},
+		"fig6":          {"NIC-DS", "Host-PE"},
+		"fig7":          {"NIC-Barrier-DS", "Elan-HW-Barrier"},
+		"fig8a":         {"Model", "Measured", "Paper-Model", "fitted"},
+		"fig8b":         {"Model", "Measured", "Paper-Model", "fitted"},
+		"summary":       {"Quadrics NIC-based barrier", "paper", "measured"},
+		"ablation":      {"XP-Collective", "9.1-Host"},
+		"packets":       {"Collective", "Direct(ACKed)"},
+		"skew":          {"NIC-Barrier-DS", "Elan-HW-Barrier"},
+		"faults":        {"Myrinet-DS", "Myrinet-PE", "Quadrics-DS"},
+		"faults-burst":  {"Myrinet-DS", "Quadrics-DS"},
+		"faults-jitter": {"Myrinet-DS", "Quadrics-DS"},
 	}
 	for _, id := range Experiments() {
 		out, err := Run(id, cfg)

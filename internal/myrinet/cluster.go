@@ -38,6 +38,15 @@ func NewCluster(eng *sim.Engine, prof hwprofile.MyrinetProfile, n int, loss nets
 	return cl
 }
 
+// SetFaults installs a fault-injection impairment (e.g. a fault.Plan) on
+// the cluster's network. Myrinet leaves reliability to the NIC control
+// program, so every impairment semantics — including drops and rejects —
+// applies; the MCP's ACK/timeout and receiver-driven NACK retransmission
+// paths are what recover from them.
+func (cl *Cluster) SetFaults(imp netsim.Impairment) {
+	cl.Net.SetImpairment(imp)
+}
+
 // Stats sums the NIC statistics over all nodes.
 func (cl *Cluster) Stats() NICStats {
 	var total NICStats

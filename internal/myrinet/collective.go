@@ -29,6 +29,13 @@ type collOp struct {
 	reduce    *core.ReduceState // non-nil for allreduce groups
 	nextSeq   int
 	nackTimer *sim.Timer
+	// nackServed counts NACKs answered per (seq, wantRank). A repeat NACK
+	// means the first retransmission was lost too, so the reply escalates
+	// to two back-to-back copies: under random loss that squares the
+	// residual failure probability, and under deterministic every-Nth
+	// impairments it breaks retransmission resonance outright (a
+	// one-in-N filter cannot discard two consecutive packets on a flow).
+	nackServed map[[2]int]int
 }
 
 // sendValue is the integer the static packet carries to toRank for
@@ -90,6 +97,13 @@ func (c *collModule) start(id core.GroupID, value int64) {
 	n.exec(n.node.Prof.NIC.CollEnqueue, 0, func() {
 		seq := op.nextSeq
 		op.nextSeq++
+		// Peers lag at most one operation behind, so NACK bookkeeping for
+		// operations before seq-1 can never be consulted again.
+		for k := range op.nackServed {
+			if k[0] < seq-1 {
+				delete(op.nackServed, k)
+			}
+		}
 		var sends []int
 		var done bool
 		var err error
@@ -210,7 +224,9 @@ func (c *collModule) armNack(op *collOp, seq int) {
 }
 
 // onNack serves a retransmission request: if this rank already sent the
-// requested notification, fire it again from the static packet.
+// requested notification, fire it again from the static packet. Repeat
+// NACKs for the same notification escalate to a duplicated reply (see
+// collOp.nackServed).
 func (c *collModule) onNack(m nackMsg, fromNode int) {
 	n := c.nic
 	n.exec(n.node.Prof.NIC.CollRecv, n.node.Prof.NIC.RecvFixed, func() {
@@ -219,19 +235,30 @@ func (c *collModule) onNack(m nackMsg, fromNode int) {
 		if !op.state.HasSent(m.seq, m.wantRank) {
 			return // not sent yet; the normal path will deliver it
 		}
+		if op.nackServed == nil {
+			op.nackServed = make(map[[2]int]int)
+		}
+		key := [2]int{m.seq, m.wantRank}
+		op.nackServed[key]++
+		copies := 1
+		if op.nackServed[key] > 1 {
+			copies = 2
+		}
 		payload := collPayload{
 			group: op.group.ID, seq: m.seq, fromRank: op.group.MyRank,
 			value: op.sendValue(m.seq, m.wantRank),
 		}
-		n.exec(n.node.Prof.NIC.CollTrigger, n.node.Prof.NIC.SendFixed, func() {
-			n.net.Send(netsim.Packet{
-				Src:     n.node.ID,
-				Dst:     fromNode,
-				Size:    n.node.Prof.BarrierBytes,
-				Kind:    "barrier-coll",
-				Payload: payload,
+		for i := 0; i < copies; i++ {
+			n.exec(n.node.Prof.NIC.CollTrigger, n.node.Prof.NIC.SendFixed, func() {
+				n.net.Send(netsim.Packet{
+					Src:     n.node.ID,
+					Dst:     fromNode,
+					Size:    n.node.Prof.BarrierBytes,
+					Kind:    "barrier-coll",
+					Payload: payload,
+				})
+				n.Stats.CollResent++
 			})
-			n.Stats.CollResent++
-		})
+		}
 	})
 }

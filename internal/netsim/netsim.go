@@ -10,6 +10,14 @@
 // hardware-level reliability (never drops), while Myrinet leaves
 // reliability to the NIC control program, which is exactly the part of the
 // design space the paper's receiver-driven retransmission targets.
+//
+// Richer impairments — burst loss, latency/jitter, throttling, blocking,
+// time-windowed faults — come in through the Impairment hook, which is
+// consulted once at injection and once per traversed link (so a packet
+// dropped mid-route still occupies the links it already crossed, and a
+// time-windowed fault takes effect at the instant the head reaches the
+// faulty hop). internal/fault builds composable fault plans on top of
+// this hook.
 package netsim
 
 import (
@@ -51,6 +59,8 @@ func (NoLoss) Drop(Packet) bool { return false }
 
 // RandomLoss drops packets independently with probability Rate, except
 // kinds listed in Immune (useful to protect control traffic in tests).
+// A nil Immune map means no kind is immune; a non-positive Rate never
+// drops and never touches the RNG.
 type RandomLoss struct {
 	Rate   float64
 	RNG    *sim.RNG
@@ -59,14 +69,21 @@ type RandomLoss struct {
 
 // Drop implements LossModel.
 func (l *RandomLoss) Drop(pkt Packet) bool {
+	if l.Rate <= 0 {
+		return false // fast path: the RNG may legitimately be nil
+	}
 	if l.Immune[pkt.Kind] {
 		return false
+	}
+	if l.RNG == nil {
+		panic(fmt.Sprintf("netsim: RandomLoss rate %v with nil RNG", l.Rate))
 	}
 	return l.RNG.Bool(l.Rate)
 }
 
 // ScriptedLoss drops the n-th matching packet (0-based) for each entry,
-// giving tests deterministic single-loss scenarios.
+// giving tests deterministic single-loss scenarios. A nil or empty DropNth
+// never drops (and skips sequence counting entirely).
 type ScriptedLoss struct {
 	// Kind selects which packets count; empty matches all.
 	Kind string
@@ -78,6 +95,9 @@ type ScriptedLoss struct {
 
 // Drop implements LossModel.
 func (l *ScriptedLoss) Drop(pkt Packet) bool {
+	if len(l.DropNth) == 0 {
+		return false
+	}
 	if l.Kind != "" && pkt.Kind != l.Kind {
 		return false
 	}
@@ -86,15 +106,72 @@ func (l *ScriptedLoss) Drop(pkt Packet) bool {
 	return l.DropNth[n]
 }
 
+// Outcome is an impairment decision for one packet at one consultation
+// point. Zero value = unimpaired.
+type Outcome struct {
+	// Drop silently discards the packet (the blocked-port "drop"
+	// semantics: the sender learns nothing).
+	Drop bool
+	// Reject discards the packet and notifies the network's reject
+	// observer (the blocked-port "reject" semantics: the network refuses
+	// the worm and the source side can observe the refusal).
+	Reject bool
+	// Delay is extra head latency added at this point.
+	Delay sim.Duration
+}
+
+// discards reports whether the outcome removes the packet.
+func (o Outcome) discards() bool { return o.Drop || o.Reject }
+
+// Impairment is the composable fault hook. Inject is consulted once per
+// Send/Multicast at injection time; Hop is consulted once per traversed
+// link with the virtual time at which the packet head starts crossing it.
+// Implementations must be deterministic for a given seed.
+type Impairment interface {
+	Inject(pkt Packet, now sim.Time) Outcome
+	Hop(pkt Packet, link, hop, hops int, headAt sim.Time) Outcome
+}
+
+// DelayOnly adapts an impairment for hardware-reliable networks: delays
+// pass through, drops and rejects are stripped. This is how the Quadrics
+// substrate honors its hardware reliability under fault plans that mix
+// loss with latency effects.
+type DelayOnly struct {
+	Inner Impairment
+}
+
+// Inject implements Impairment.
+func (d DelayOnly) Inject(pkt Packet, now sim.Time) Outcome {
+	return reliable(d.Inner.Inject(pkt, now))
+}
+
+// Hop implements Impairment.
+func (d DelayOnly) Hop(pkt Packet, link, hop, hops int, headAt sim.Time) Outcome {
+	return reliable(d.Inner.Hop(pkt, link, hop, hops, headAt))
+}
+
+func reliable(o Outcome) Outcome {
+	o.Drop, o.Reject = false, false
+	return o
+}
+
 // Counters aggregates traffic accounting; the paper's packet-halving claim
 // (receiver-driven retransmission eliminates ACKs) is verified against
 // these numbers.
 type Counters struct {
 	Sent      uint64
 	Delivered uint64
-	Dropped   uint64
-	Bytes     uint64
-	ByKind    map[string]uint64
+	// Dropped counts every discarded packet, whatever the mechanism
+	// (LossModel, impairment drop or reject, at injection or mid-route).
+	Dropped uint64
+	// Rejected counts the Dropped subset discarded with reject semantics.
+	Rejected uint64
+	// HopDropped counts the Dropped subset discarded mid-route by a
+	// per-hop impairment (the packet occupied every link before the
+	// faulty one).
+	HopDropped uint64
+	Bytes      uint64
+	ByKind     map[string]uint64
 }
 
 // Network binds a topology to physical parameters and attached receivers.
@@ -105,6 +182,8 @@ type Network struct {
 	busyUntil []sim.Time
 	recv      []func(Packet)
 	loss      LossModel
+	imp       Impairment
+	onReject  func(Packet)
 	counters  Counters
 }
 
@@ -127,6 +206,15 @@ func New(eng *sim.Engine, t topo.Topology, p Params, loss LossModel) *Network {
 		counters:  Counters{ByKind: make(map[string]uint64)},
 	}
 }
+
+// SetImpairment installs (or clears, with nil) the fault hook. Installing
+// mid-simulation is allowed: fault plans schedule their own activation
+// windows, so they are typically installed once up front.
+func (n *Network) SetImpairment(imp Impairment) { n.imp = imp }
+
+// OnReject registers an observer for reject-semantics discards (at most
+// one). The observer runs at the virtual time of the rejection.
+func (n *Network) OnReject(fn func(Packet)) { n.onReject = fn }
 
 // Topology exposes the underlying topology.
 func (n *Network) Topology() topo.Topology { return n.topo }
@@ -167,6 +255,28 @@ func (n *Network) serialization(pkt Packet) sim.Duration {
 	return sim.BytesAt(int64(pkt.Size), n.params.BandwidthMBps)
 }
 
+// recordDrop is the single drop-accounting path: every discard — loss
+// model, impairment drop or reject, injection-time or mid-route — funnels
+// through here. at is the virtual time the discard decision is made (the
+// current time for injection discards, the hop's head time for mid-route
+// ones); reject observers fire then, not before.
+func (n *Network) recordDrop(pkt Packet, out Outcome, midRoute bool, at sim.Time) {
+	n.counters.Dropped++
+	if midRoute {
+		n.counters.HopDropped++
+	}
+	if out.Reject {
+		n.counters.Rejected++
+		if n.onReject != nil {
+			if at > n.eng.Now() {
+				n.eng.Schedule(at, func() { n.onReject(pkt) })
+			} else {
+				n.onReject(pkt)
+			}
+		}
+	}
+}
+
 // Send injects a packet at the current virtual time. Delivery (or drop)
 // is scheduled on the engine; Send itself costs no time, injection
 // overheads belong to the NIC models.
@@ -178,31 +288,80 @@ func (n *Network) Send(pkt Packet) {
 		panic(fmt.Sprintf("netsim: loopback packet %d->%d; NIC models handle self-delivery", pkt.Src, pkt.Dst))
 	}
 	if n.loss.Drop(pkt) {
-		n.counters.Dropped++
+		n.recordDrop(pkt, Outcome{Drop: true}, false, n.eng.Now())
 		return
 	}
-	arrival := n.headArrival(pkt, n.topo.Route(pkt.Src, pkt.Dst)).
-		Add(n.serialization(pkt))
-	n.eng.Schedule(arrival, func() { n.deliver(pkt) })
+	if n.imp != nil {
+		out := n.imp.Inject(pkt, n.eng.Now())
+		if out.discards() {
+			n.recordDrop(pkt, out, false, n.eng.Now())
+			return
+		}
+		if out.Delay > 0 {
+			// Injection delay postpones the whole transmission (the worm
+			// has not entered the network yet).
+			n.eng.After(out.Delay, func() { n.transmit(pkt) })
+			return
+		}
+	}
+	n.transmit(pkt)
+}
+
+// transmit walks the route and schedules delivery unless a per-hop
+// impairment discards the packet mid-route.
+func (n *Network) transmit(pkt Packet) {
+	arrival, ok := n.headArrival(pkt, n.topo.Route(pkt.Src, pkt.Dst))
+	if !ok {
+		return
+	}
+	n.eng.Schedule(arrival.Add(n.serialization(pkt)), func() { n.deliver(pkt) })
+}
+
+// linkStep advances a packet head across one link: queue behind the
+// link's current occupant, consult the per-hop impairment, occupy the
+// link for the body's serialization time, then pay wire latency (plus
+// cut-through latency when another switch follows). The discarding
+// Outcome is returned with ok == false and the returned time is the
+// discard decision's instant (the head's start on that link);
+// accounting is the caller's job (unicast and multicast attribute
+// drops differently).
+func (n *Network) linkStep(pkt Packet, link, hop, hops int, t sim.Time, ser sim.Duration) (sim.Time, Outcome, bool) {
+	start := t
+	if n.busyUntil[link] > start {
+		start = n.busyUntil[link] // blocked behind an earlier worm
+	}
+	if n.imp != nil {
+		out := n.imp.Hop(pkt, link, hop, hops, start)
+		if out.discards() {
+			return start, out, false
+		}
+		start = start.Add(out.Delay)
+	}
+	n.busyUntil[link] = start.Add(ser)
+	t = start.Add(n.params.WirePerHop)
+	if hop+1 < hops {
+		t = t.Add(n.params.SwitchLatency) // cut-through at next switch
+	}
+	return t, Outcome{}, true
 }
 
 // headArrival walks the route charging per-hop latency and link occupancy,
-// returning when the packet head reaches the destination port.
-func (n *Network) headArrival(pkt Packet, route []int) sim.Time {
+// returning when the packet head reaches the destination port. ok is false
+// when a per-hop impairment discarded the packet; links before the faulty
+// hop stay occupied for the body's serialization time, exactly as a
+// truncated worm would leave them.
+func (n *Network) headArrival(pkt Packet, route []int) (sim.Time, bool) {
 	ser := n.serialization(pkt)
 	t := n.eng.Now()
 	for i, link := range route {
-		start := t
-		if n.busyUntil[link] > start {
-			start = n.busyUntil[link] // blocked behind an earlier worm
+		next, out, ok := n.linkStep(pkt, link, i, len(route), t, ser)
+		if !ok {
+			n.recordDrop(pkt, out, true, next)
+			return 0, false
 		}
-		n.busyUntil[link] = start.Add(ser)
-		t = start.Add(n.params.WirePerHop)
-		if i+1 < len(route) {
-			t = t.Add(n.params.SwitchLatency) // cut-through at next switch
-		}
+		t = next
 	}
-	return t
+	return t, true
 }
 
 func (n *Network) deliver(pkt Packet) {
@@ -217,43 +376,79 @@ func (n *Network) deliver(pkt Packet) {
 // Multicast models hardware replication in the switches (the QsNet
 // broadcast primitive): one injection reaches every destination, sharing
 // link occupancy where routes overlap (each unique link is charged once).
-// Destinations equal to src are skipped.
+// Destinations equal to src are skipped. The injection-time impairment
+// consultation sees the template packet (its Dst is whatever the caller
+// set, conventionally -1), so destination-scoped rules cannot match
+// there; a discard at injection loses the whole multicast (one drop).
+// Per-hop consultations see the per-destination packet, and a discard
+// prunes that link from the replication tree, losing every destination
+// behind it (one drop per lost destination).
 func (n *Network) Multicast(pkt Packet, dsts []int) {
 	n.counters.Sent++
 	n.counters.Bytes += uint64(pkt.Size)
 	n.counters.ByKind[pkt.Kind]++
 	if n.loss.Drop(pkt) {
-		n.counters.Dropped++
+		n.recordDrop(pkt, Outcome{Drop: true}, false, n.eng.Now())
 		return
 	}
+	if n.imp != nil {
+		out := n.imp.Inject(pkt, n.eng.Now())
+		if out.discards() {
+			n.recordDrop(pkt, out, false, n.eng.Now())
+			return
+		}
+		if out.Delay > 0 {
+			n.eng.After(out.Delay, func() { n.multicastBody(pkt, dsts) })
+			return
+		}
+	}
+	n.multicastBody(pkt, dsts)
+}
+
+func (n *Network) multicastBody(pkt Packet, dsts []int) {
 	ser := n.serialization(pkt)
 	// Per-link head time, deduplicated across the destination routes so
-	// shared trunk links are traversed (and occupied) once.
+	// shared trunk links are traversed (and occupied) once. A link a
+	// per-hop impairment discarded is dead for the whole replication.
+	// Hop consultations see the per-destination packet (Dst filled in),
+	// so Dst-scoped rules prune exactly the branch serving that
+	// destination; on a shared trunk the first destination to walk the
+	// link decides for everyone behind it, mirroring how the worm forks
+	// once per switch.
 	headAt := make(map[int]sim.Time)
+	dead := make(map[int]Outcome)
 	for _, dst := range dsts {
 		if dst == pkt.Src {
 			continue
 		}
+		p := pkt
+		p.Dst = dst
 		t := n.eng.Now()
 		route := n.topo.Route(pkt.Src, dst)
+		lost := false
 		for i, link := range route {
+			if out, isDead := dead[link]; isDead {
+				n.recordDrop(p, out, true, t)
+				lost = true
+				break
+			}
 			if cached, ok := headAt[link]; ok {
 				t = cached
 				continue
 			}
-			start := t
-			if n.busyUntil[link] > start {
-				start = n.busyUntil[link]
+			next, out, ok := n.linkStep(p, link, i, len(route), t, ser)
+			if !ok {
+				dead[link] = out
+				n.recordDrop(p, out, true, next)
+				lost = true
+				break
 			}
-			n.busyUntil[link] = start.Add(ser)
-			t = start.Add(n.params.WirePerHop)
-			if i+1 < len(route) {
-				t = t.Add(n.params.SwitchLatency)
-			}
+			t = next
 			headAt[link] = t
 		}
-		p := pkt
-		p.Dst = dst
+		if lost {
+			continue
+		}
 		n.eng.Schedule(t.Add(ser), func() { n.deliver(p) })
 	}
 }

@@ -143,6 +143,11 @@ type Config struct {
 	// LossRate injects random packet loss (Myrinet only; Quadrics is
 	// hardware-reliable). Recovery traffic shows up in Result.
 	LossRate float64
+	// Faults composes richer impairments — burst loss, partitions,
+	// latency/jitter, throttling, crashes — built with the Fault*
+	// constructors. On Quadrics only latency-type faults take effect
+	// (hardware reliability strips loss-type ones).
+	Faults []Fault
 	// Seed drives node permutation and loss; 0 is a valid seed.
 	Seed uint64
 	// Permute randomizes which physical nodes host the ranks, as the
@@ -160,6 +165,9 @@ type Result struct {
 	// Retransmissions counts recovery packets over the whole run (loss
 	// injection only).
 	Retransmissions uint64
+	// DroppedPackets counts packets the network discarded over the whole
+	// run (loss model plus fault plan, at injection or mid-route).
+	DroppedPackets uint64
 }
 
 func (c Config) validate() error {
@@ -178,6 +186,11 @@ func (c Config) validate() error {
 	}
 	if quadrics && c.LossRate > 0 {
 		return fmt.Errorf("nicbarrier: Quadrics provides hardware reliability; no loss injection")
+	}
+	for i, f := range c.Faults {
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("nicbarrier: Faults[%d]: %w", i, err)
+		}
 	}
 	return nil
 }
@@ -219,6 +232,13 @@ func myrinetProfile(ic Interconnect) hwprofile.MyrinetProfile {
 	return hwprofile.LANaiXPCluster()
 }
 
+// applyFaults compiles Config.Faults onto a Myrinet cluster.
+func applyMyrinetFaults(cfg Config, cl *myrinet.Cluster) {
+	if plan := compileFaults(cfg.Faults, cfg.Seed, cl.Prof.Net.BandwidthMBps); plan != nil {
+		cl.SetFaults(plan)
+	}
+}
+
 func measureMyrinet(cfg Config, warmup, iters int) (Result, error) {
 	eng := sim.NewEngine()
 	var loss netsim.LossModel
@@ -226,6 +246,7 @@ func measureMyrinet(cfg Config, warmup, iters int) (Result, error) {
 		loss = &netsim.RandomLoss{Rate: cfg.LossRate, RNG: sim.NewRNG(cfg.Seed + 1)}
 	}
 	cl := myrinet.NewCluster(eng, myrinetProfile(cfg.Interconnect), cfg.Nodes, loss)
+	applyMyrinetFaults(cfg, cl)
 	var scheme myrinet.Scheme
 	switch cfg.Scheme {
 	case HostBased:
@@ -249,12 +270,16 @@ func measureMyrinet(cfg Config, warmup, iters int) (Result, error) {
 		StdMicros: st.StdUS, Iterations: st.Iterations,
 		PacketsPerBarrier: float64(net.Sent) / float64(warmup+iters),
 		Retransmissions:   nic.Retransmits + nic.CollResent,
+		DroppedPackets:    net.Dropped,
 	}, nil
 }
 
 func measureElan(cfg Config, warmup, iters int) (Result, error) {
 	eng := sim.NewEngine()
 	cl := elan.NewCluster(eng, hwprofile.Elan3Cluster(), cfg.Nodes)
+	if plan := compileFaults(cfg.Faults, cfg.Seed, cl.Prof.Net.BandwidthMBps); plan != nil {
+		cl.SetFaults(plan)
+	}
 	var scheme elan.Scheme
 	alg := cfg.Algorithm.internal()
 	switch cfg.Scheme {
@@ -278,6 +303,7 @@ func measureElan(cfg Config, warmup, iters int) (Result, error) {
 		MeanMicros: st.MeanUS, MinMicros: st.MinUS, MaxMicros: st.MaxUS,
 		StdMicros: st.StdUS, Iterations: st.Iterations,
 		PacketsPerBarrier: float64(net.Sent) / float64(warmup+iters),
+		DroppedPackets:    net.Dropped,
 	}, nil
 }
 
@@ -303,6 +329,7 @@ func MeasureBroadcast(cfg Config, root, degree, warmup, iters int) (Result, erro
 		loss = &netsim.RandomLoss{Rate: cfg.LossRate, RNG: sim.NewRNG(cfg.Seed + 1)}
 	}
 	cl := myrinet.NewCluster(eng, myrinetProfile(cfg.Interconnect), cfg.Nodes, loss)
+	applyMyrinetFaults(cfg, cl)
 	s := myrinet.NewBroadcastSession(cl, cfg.ids(), root, degree)
 	doneAt := s.Run(warmup + iters)
 	eng.Run()
@@ -314,6 +341,7 @@ func MeasureBroadcast(cfg Config, root, degree, warmup, iters int) (Result, erro
 		StdMicros: st.StdUS, Iterations: st.Iterations,
 		PacketsPerBarrier: float64(net.Sent) / float64(warmup+iters),
 		Retransmissions:   nic.Retransmits + nic.CollResent,
+		DroppedPackets:    net.Dropped,
 	}, nil
 }
 
@@ -364,6 +392,7 @@ func MeasureAllreduce(cfg Config, op ReduceOperator, warmup, iters int) (Result,
 		loss = &netsim.RandomLoss{Rate: cfg.LossRate, RNG: sim.NewRNG(cfg.Seed + 1)}
 	}
 	cl := myrinet.NewCluster(eng, myrinetProfile(cfg.Interconnect), cfg.Nodes, loss)
+	applyMyrinetFaults(cfg, cl)
 	contrib := func(rank, iter int) int64 { return int64(rank*131 + iter*17 - 64) }
 	s, err := myrinet.NewAllreduceSession(cl, cfg.ids(), cfg.Algorithm.internal(),
 		barrier.Options{TreeDegree: cfg.TreeDegree}, op.internal(), contrib)
@@ -394,6 +423,7 @@ func MeasureAllreduce(cfg Config, op ReduceOperator, warmup, iters int) (Result,
 		StdMicros: st.StdUS, Iterations: st.Iterations,
 		PacketsPerBarrier: float64(net.Sent) / float64(warmup+iters),
 		Retransmissions:   nic.Retransmits + nic.CollResent,
+		DroppedPackets:    net.Dropped,
 	}, nil
 }
 
