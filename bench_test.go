@@ -5,6 +5,11 @@ package nicbarrier
 // of the evaluation under a reduced measurement loop and reports the
 // headline simulated latencies as custom metrics (sim_us). ns/op measures
 // how fast the simulator itself reproduces each artifact.
+//
+// These numbers are transient; the durable, gateable form of the same
+// measurements is `benchgate run` (internal/benchreg), which snapshots
+// every registered scenario into BENCH_<rev>.json and compares it
+// against the committed bench/baseline.json in CI.
 
 import (
 	"testing"
@@ -118,18 +123,11 @@ func BenchmarkPackets(b *testing.B) {
 
 func reportPoint(b *testing.B, fig harness.Figure, series string, n int, metric string) {
 	b.Helper()
-	for _, s := range fig.Series {
-		if s.Name != series {
-			continue
-		}
-		for _, p := range s.Points {
-			if p.N == n {
-				b.ReportMetric(p.LatencyUS, metric)
-				return
-			}
-		}
+	v, ok := fig.Point(series, n)
+	if !ok {
+		b.Fatalf("series %q point n=%d not found in %s", series, n, fig.ID)
 	}
-	b.Fatalf("series %q point n=%d not found in %s", series, n, fig.ID)
+	b.ReportMetric(v, metric)
 }
 
 // --- headline single-point benchmarks (fast, per-barrier granularity) ---

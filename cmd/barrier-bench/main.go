@@ -1,9 +1,11 @@
 // Command barrier-bench regenerates the paper's evaluation artifacts:
-// Figures 5, 6, 7, 8(a), 8(b), the Section 8 headline summary, and the
-// two ablations (direct-scheme comparison, packet halving).
+// Figures 5, 6, 7, 8(a), 8(b), the Section 8 headline summary, the two
+// ablations (direct-scheme comparison, packet halving), and every other
+// scenario registered with the harness (fault sweeps, skew).
 //
 // Usage:
 //
+//	barrier-bench -list                    # scenario IDs and titles
 //	barrier-bench -fig all                 # everything, quick loop
 //	barrier-bench -fig fig6 -fidelity paper
 //	barrier-bench -fig fig8a -format tsv   # plottable output
@@ -12,79 +14,71 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nicbarrier/internal/harness"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run: all, "+list())
-	fidelity := flag.String("fidelity", "quick",
-		"measurement loop: quick (small iteration counts) or paper (100 warmup + 10000 iterations)")
-	format := flag.String("format", "table", "output format: table or tsv")
-	seed := flag.Uint64("seed", 1, "seed for node permutations")
-	serial := flag.Bool("serial", false, "disable the parallel sweep worker pool")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	cfg := harness.Quick()
-	switch *fidelity {
-	case "quick":
-	case "paper":
-		cfg = harness.PaperFidelity()
-	default:
-		fatalf("unknown -fidelity %q (quick|paper)", *fidelity)
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("barrier-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "all", "experiment to run: all, "+list())
+	fidelity := fs.String("fidelity", "quick",
+		"measurement loop: quick (small iteration counts) or paper (100 warmup + 10000 iterations)")
+	format := fs.String("format", "table", "output format: table or tsv")
+	seed := fs.Uint64("seed", 1, "seed for node permutations")
+	serial := fs.Bool("serial", false, "disable the parallel sweep worker pool")
+	listOnly := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	if *listOnly {
+		for _, s := range harness.Scenarios() {
+			fmt.Fprintf(stdout, "  %-14s %s\n", s.ID, s.Title)
+		}
+		return 0
+	}
+
+	cfg, err := harness.ConfigFor(*fidelity)
+	if err != nil {
+		fmt.Fprintf(stderr, "barrier-bench: %v\n", err)
+		return 1
 	}
 	cfg.Seed = *seed
 	cfg.Parallel = !*serial
+
+	run := harness.Run
+	switch *format {
+	case "table":
+	case "tsv":
+		run = harness.RunTSV
+	default:
+		fmt.Fprintf(stderr, "barrier-bench: unknown -format %q (table|tsv)\n", *format)
+		return 1
+	}
 
 	ids := []string{*fig}
 	if *fig == "all" {
 		ids = harness.Experiments()
 	}
 	for _, id := range ids {
-		out, err := render(id, cfg, *format)
+		out, err := run(id, cfg)
 		if err != nil {
-			fatalf("%v", err)
+			fmt.Fprintf(stderr, "barrier-bench: %v\n", err)
+			return 1
 		}
-		fmt.Println(out)
+		fmt.Fprintln(stdout, out)
 	}
-}
-
-func render(id string, cfg harness.Config, format string) (string, error) {
-	if format == "table" {
-		return harness.Run(id, cfg)
-	}
-	if format != "tsv" {
-		return "", fmt.Errorf("unknown -format %q (table|tsv)", format)
-	}
-	switch id {
-	case "fig5":
-		return harness.Fig5(cfg).TSV(), nil
-	case "fig6":
-		return harness.Fig6(cfg).TSV(), nil
-	case "fig7":
-		return harness.Fig7(cfg).TSV(), nil
-	case "fig8a":
-		return harness.Fig8a(cfg).TSV(), nil
-	case "fig8b":
-		return harness.Fig8b(cfg).TSV(), nil
-	case "ablation":
-		return harness.Ablation(cfg).TSV(), nil
-	case "packets":
-		return harness.Packets(cfg).TSV(), nil
-	case "skew":
-		return harness.Skew(cfg).TSV(), nil
-	case "faults":
-		return harness.FaultLossSweep(cfg).TSV(), nil
-	case "faults-burst":
-		return harness.FaultBurstSweep(cfg).TSV(), nil
-	case "faults-jitter":
-		return harness.FaultJitterSweep(cfg).TSV(), nil
-	case "summary":
-		return harness.Summary(cfg).Render(), nil // no TSV form
-	default:
-		return "", fmt.Errorf("unknown experiment %q (have %s)", id, list())
-	}
+	return 0
 }
 
 func list() string {
@@ -96,9 +90,4 @@ func list() string {
 		s += id
 	}
 	return s
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "barrier-bench: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func bench(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	code, out, errb := bench(t, "-fig", "packets")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"packets", "Collective", "Direct(ACKed)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTSVFormat(t *testing.T) {
+	code, out, errb := bench(t, "-fig", "packets", "-format", "tsv")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.HasPrefix(out, "N\t") {
+		t.Fatalf("tsv output %.40q", out)
+	}
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := bench(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"fig5", "summary", "faults-jitter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if code, _, _ := bench(t, "-fig", "no-such-figure"); code == 0 {
+		t.Error("unknown figure accepted")
+	}
+	if code, _, _ := bench(t, "-fig", "packets", "-format", "xml"); code == 0 {
+		t.Error("unknown format accepted")
+	}
+	if code, _, _ := bench(t, "-fig", "packets", "-fidelity", "extreme"); code == 0 {
+		t.Error("unknown fidelity accepted")
+	}
+	if code, _, _ := bench(t, "-no-such-flag"); code == 0 {
+		t.Error("unknown flag accepted")
+	}
+	if code, _, _ := bench(t, "-h"); code != 0 {
+		t.Error("-h did not exit 0")
+	}
+}

@@ -1,0 +1,260 @@
+// Command benchgate is the perf-regression gate: it measures every
+// registered harness scenario into a machine-readable BENCH_<rev>.json
+// report, compares reports against the committed bench/baseline.json
+// under per-metric thresholds, and refreshes the baseline when a change
+// in the numbers is intentional.
+//
+// Usage:
+//
+//	benchgate run -quick                      # write BENCH_<rev>.json (all scenarios)
+//	benchgate run -scenario fig5,packets -repeats 1 -out /tmp
+//	benchgate compare -current BENCH_abc.json # gate against bench/baseline.json
+//	benchgate compare -current ... -all       # list every delta, not just failures
+//	benchgate update-baseline                 # re-measure and rewrite the baseline
+//	benchgate update-baseline -from BENCH_abc.json
+//
+// `compare` exits 1 when any gated metric regresses beyond its
+// threshold (or a baseline metric disappears), which is what CI's
+// perf-gate job relies on.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nicbarrier/internal/benchreg"
+	"nicbarrier/internal/harness"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// errUsage marks a flag-parse failure: the FlagSet already printed the
+// problem and usage to stderr, so realMain must not print it again, and
+// the exit code matches the other CLIs' usage convention (2).
+var errUsage = errors.New("usage")
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "benchgate: pick a subcommand: run, compare, update-baseline")
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "-h", "-help", "--help", "help":
+		fmt.Fprintln(stdout, "usage: benchgate <run|compare|update-baseline> [flags]; see each subcommand's -h")
+		return 0
+	case "run":
+		err = cmdRun(args[1:], stdout, stderr)
+	case "compare":
+		var failed bool
+		failed, err = cmdCompare(args[1:], stdout, stderr)
+		if err == nil && failed {
+			return 1
+		}
+	case "update-baseline":
+		err = cmdUpdateBaseline(args[1:], stdout, stderr)
+	default:
+		err = fmt.Errorf("unknown subcommand %q (run|compare|update-baseline)", args[0])
+	}
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.Is(err, errUsage):
+		return 2
+	default:
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 1
+	}
+}
+
+// parse runs the flag set, normalizing help and parse errors.
+func parse(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if err == nil || err == flag.ErrHelp {
+		return err
+	}
+	return errUsage
+}
+
+// measureFlags are the flags shared by `run` and `update-baseline`:
+// everything that shapes a measurement.
+type measureFlags struct {
+	quick     *bool
+	fidelity  *string
+	repeats   *int
+	seed      *uint64
+	warmup    *int
+	iters     *int
+	serial    *bool
+	scenarios *string
+}
+
+func addMeasureFlags(fs *flag.FlagSet) measureFlags {
+	return measureFlags{
+		quick:    fs.Bool("quick", false, "use the quick measurement loop (the default; explicit form for scripts)"),
+		fidelity: fs.String("fidelity", "quick", "measurement loop: quick or paper (100 warmup + 10000 iters)"),
+		repeats:  fs.Int("repeats", 3, "repeats per scenario; the report keeps the per-metric median and spread"),
+		seed:     fs.Uint64("seed", 1, "seed for node permutations and fault plans"),
+		warmup:   fs.Int("warmup", -1, "override warmup iterations (-1 = fidelity default; 0 is a valid value)"),
+		iters:    fs.Int("iters", 0, "override measured iterations (0 = fidelity default)"),
+		serial:   fs.Bool("serial", false, "disable the parallel sweep worker pool"),
+		scenarios: fs.String("scenario", "",
+			"comma-separated scenario IDs to measure (default: every registered scenario)"),
+	}
+}
+
+// collect resolves the measure flags into a fresh report.
+func (mf measureFlags) collect() (*benchreg.Report, error) {
+	fidelity := *mf.fidelity
+	if *mf.quick && fidelity != "quick" {
+		return nil, fmt.Errorf("-quick conflicts with -fidelity %s", fidelity)
+	}
+	cfg, err := harness.ConfigFor(fidelity)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Seed = *mf.seed
+	cfg.Parallel = !*mf.serial
+	if *mf.warmup >= 0 {
+		cfg.Warmup = *mf.warmup
+	}
+	if *mf.iters > 0 {
+		cfg.Iters = *mf.iters
+	}
+	scens, err := selectScenarios(*mf.scenarios)
+	if err != nil {
+		return nil, err
+	}
+	return benchreg.Collect(cfg, fidelity, *mf.repeats, scens)
+}
+
+func selectScenarios(csv string) ([]harness.Scenario, error) {
+	if csv == "" {
+		return harness.Scenarios(), nil
+	}
+	var out []harness.Scenario
+	seen := map[string]bool{}
+	for _, id := range strings.Split(csv, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("-scenario lists %q twice", id)
+		}
+		seen[id] = true
+		s, ok := harness.ScenarioByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (have %v)", id, harness.Experiments())
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scenario selected nothing")
+	}
+	return out, nil
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchgate run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mf := addMeasureFlags(fs)
+	out := fs.String("out", ".", "output path: a directory (gets BENCH_<rev>.json) or a .json file")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	rep, err := mf.collect()
+	if err != nil {
+		return err
+	}
+	// A .json path names the file directly; anything else is a
+	// directory (created if absent) that receives BENCH_<rev>.json.
+	path := *out
+	if !strings.HasSuffix(path, ".json") {
+		if err := os.MkdirAll(path, 0o755); err != nil {
+			return err
+		}
+		path = filepath.Join(path, rep.Filename())
+	}
+	if err := rep.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d metrics over %d scenarios (rev %s, fidelity %s, repeats %d)\n",
+		path, len(rep.Metrics), len(rep.Config.Scenarios), rep.GitRev, rep.Config.Fidelity, rep.Config.Repeats)
+	return nil
+}
+
+func cmdCompare(args []string, stdout, stderr io.Writer) (failed bool, err error) {
+	fs := flag.NewFlagSet("benchgate compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "bench/baseline.json", "committed baseline report")
+	current := fs.String("current", "", "report to gate (required; produced by `benchgate run`)")
+	all := fs.Bool("all", false, "list every delta, not just failures and improvements")
+	rel := fs.Float64("rel", -1, "override the default relative threshold (fraction, e.g. 0.02)")
+	abs := fs.Float64("abs", -1, "override the default absolute threshold")
+	if err := parse(fs, args); err != nil {
+		return false, err
+	}
+	if *current == "" {
+		return false, fmt.Errorf("compare: -current is required")
+	}
+	base, err := benchreg.ReadFile(*baseline)
+	if err != nil {
+		return false, err
+	}
+	cur, err := benchreg.ReadFile(*current)
+	if err != nil {
+		return false, err
+	}
+	pol := benchreg.DefaultPolicy()
+	if *rel >= 0 {
+		pol.Default.Rel = *rel
+	}
+	if *abs >= 0 {
+		pol.Default.Abs = *abs
+	}
+	res, err := benchreg.Compare(base, cur, pol)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprint(stdout, res.Render(*all))
+	return res.Failed(), nil
+}
+
+func cmdUpdateBaseline(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchgate update-baseline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mf := addMeasureFlags(fs)
+	out := fs.String("out", "bench/baseline.json", "baseline path to (re)write")
+	from := fs.String("from", "", "adopt an existing BENCH_*.json instead of re-measuring")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	var rep *benchreg.Report
+	var err error
+	if *from != "" {
+		rep, err = benchreg.ReadFile(*from)
+	} else {
+		rep, err = mf.collect()
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		return err
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "baseline %s updated: %d metrics (rev %s)\n", *out, len(rep.Metrics), rep.GitRev)
+	return nil
+}

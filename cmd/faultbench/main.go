@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -162,27 +163,42 @@ func scenarios() []scenario {
 }
 
 func main() {
-	name := flag.String("scenario", "", "scenario to run (see -list)")
-	all := flag.Bool("all", false, "run every scenario")
-	list := flag.Bool("list", false, "list scenarios and exit")
-	iters := flag.Int("iters", 0, "override measured iterations per run")
-	warmup := flag.Int("warmup", -1, "override warmup iterations per run")
-	nodes := flag.Int("nodes", 0, "override node count per run")
-	seed := flag.Uint64("seed", 0, "override permutation/fault seed per run")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faultbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("scenario", "", "scenario to run (see -list)")
+	all := fs.Bool("all", false, "run every scenario")
+	list := fs.Bool("list", false, "list scenarios and exit")
+	iters := fs.Int("iters", 0, "override measured iterations per run")
+	warmup := fs.Int("warmup", -1, "override warmup iterations per run")
+	nodes := fs.Int("nodes", 0, "override node count per run")
+	seed := fs.Uint64("seed", 0, "override permutation/fault seed per run")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 	seedSet := false
-	flag.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
 			seedSet = true // 0 is a valid seed, so presence, not value, decides
 		}
 	})
 
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "faultbench: "+format+"\n", a...)
+		return 1
+	}
 	scens := scenarios()
 	if *list {
 		for _, sc := range scens {
-			fmt.Printf("  %-22s %s\n", sc.name, sc.desc)
+			fmt.Fprintf(stdout, "  %-22s %s\n", sc.name, sc.desc)
 		}
-		return
+		return 0
 	}
 	var selected []scenario
 	switch {
@@ -199,18 +215,18 @@ func main() {
 			for _, sc := range scens {
 				names = append(names, sc.name)
 			}
-			fatalf("unknown scenario %q (have: %s)", *name, strings.Join(names, ", "))
+			return fail("unknown scenario %q (have: %s)", *name, strings.Join(names, ", "))
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "pick -scenario <name>, -all, or -list")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "pick -scenario <name>, -all, or -list")
+		return 2
 	}
 
-	fmt.Printf("%-22s %-12s %-10s %5s %6s %10s %10s %9s %8s %8s\n",
+	fmt.Fprintf(stdout, "%-22s %-12s %-10s %5s %6s %10s %10s %9s %8s %8s\n",
 		"scenario", "run", "net", "nodes", "iters", "mean(us)", "max(us)", "pkts/bar", "drops", "retx")
 	for _, sc := range selected {
 		if *nodes > 0 && *nodes < sc.minNodes {
-			fatalf("scenario %s scopes faults to node IDs that need at least %d nodes (got -nodes %d)",
+			return fail("scenario %s scopes faults to node IDs that need at least %d nodes (got -nodes %d)",
 				sc.name, sc.minNodes, *nodes)
 		}
 		for _, r := range sc.runs {
@@ -228,15 +244,16 @@ func main() {
 			}
 			res, err := nicbarrier.MeasureBarrier(r.cfg, r.warmup, r.iters)
 			if err != nil {
-				fatalf("%s/%s: %v", sc.name, r.label, err)
+				return fail("%s/%s: %v", sc.name, r.label, err)
 			}
-			fmt.Printf("%-22s %-12s %-10s %5d %6d %10.2f %10.2f %9.1f %8d %8d\n",
+			fmt.Fprintf(stdout, "%-22s %-12s %-10s %5d %6d %10.2f %10.2f %9.1f %8d %8d\n",
 				sc.name, r.label, netName(r.cfg.Interconnect), r.cfg.Nodes, res.Iterations,
 				res.MeanMicros, res.MaxMicros, res.PacketsPerBarrier,
 				res.DroppedPackets, res.Retransmissions)
 		}
-		fmt.Printf("  note: %s\n", strings.ReplaceAll(sc.note, "\n", "\n        "))
+		fmt.Fprintf(stdout, "  note: %s\n", strings.ReplaceAll(sc.note, "\n", "\n        "))
 	}
+	return 0
 }
 
 // unpermuted pins rank r to physical node r, for scenarios whose fault
@@ -255,9 +272,4 @@ func netName(ic nicbarrier.Interconnect) string {
 	default:
 		return "lanai-xp"
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "faultbench: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,99 @@
+package benchreg
+
+import (
+	"fmt"
+	"time"
+
+	"nicbarrier/internal/harness"
+)
+
+// Collect runs each scenario `repeats` times under cfg and aggregates
+// every flattened data point into a Report: per-metric median and
+// spread across repeats, plus one "<id>/wall_ns" metric per scenario
+// recording how long the simulator took to reproduce it.
+//
+// Simulated metrics are deterministic per seed, so their spread is zero
+// and the median is exact; repeats exist to give wall-clock metrics a
+// noise estimate and to keep the pipeline honest if a future scenario
+// introduces nondeterminism.
+func Collect(cfg harness.Config, fidelity string, repeats int, scens []harness.Scenario) (*Report, error) {
+	if repeats < 1 {
+		return nil, fmt.Errorf("benchreg: repeats %d < 1", repeats)
+	}
+	if len(scens) == 0 {
+		return nil, fmt.Errorf("benchreg: no scenarios to collect")
+	}
+	r := &Report{
+		Schema: Schema,
+		GitRev: GitRev(),
+		Seed:   cfg.Seed,
+		Config: RunConfig{
+			Fidelity: fidelity,
+			Warmup:   cfg.Warmup,
+			Iters:    cfg.Iters,
+			Repeats:  repeats,
+		},
+	}
+	for _, s := range scens {
+		r.Config.Scenarios = append(r.Config.Scenarios, s.ID)
+		samples := make(map[string][]float64) // metric name -> one value per repeat
+		units := make(map[string]string)
+		var wall []float64
+		var order []string // first repeat's metric order, kept for output stability
+		for rep := 0; rep < repeats; rep++ {
+			start := time.Now()
+			pts := s.Points(cfg)
+			wall = append(wall, float64(time.Since(start).Nanoseconds()))
+			if len(pts) == 0 {
+				return nil, fmt.Errorf("benchreg: scenario %q produced no points", s.ID)
+			}
+			for _, p := range pts {
+				if rep == 0 {
+					if _, dup := units[p.Name]; dup {
+						return nil, fmt.Errorf("benchreg: scenario %q emits duplicate metric %q", s.ID, p.Name)
+					}
+					order = append(order, p.Name)
+					units[p.Name] = p.Unit
+				} else if _, known := units[p.Name]; !known {
+					return nil, fmt.Errorf("benchreg: scenario %q metric set unstable across repeats (new %q)", s.ID, p.Name)
+				}
+				samples[p.Name] = append(samples[p.Name], p.Value)
+			}
+		}
+		for _, name := range order {
+			vals := samples[name]
+			if len(vals) != repeats {
+				return nil, fmt.Errorf("benchreg: scenario %q metric %q seen in %d/%d repeats", s.ID, name, len(vals), repeats)
+			}
+			r.Metrics = append(r.Metrics, Metric{
+				Name:   name,
+				Unit:   units[name],
+				Value:  Median(vals),
+				Spread: spread(vals),
+			})
+		}
+		r.Metrics = append(r.Metrics, Metric{
+			Name:   s.ID + "/wall_ns",
+			Unit:   "ns/op",
+			Value:  Median(wall),
+			Spread: spread(wall),
+		})
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func spread(xs []float64) float64 {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}

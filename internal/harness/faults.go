@@ -20,6 +20,18 @@ import (
 // are stateful), so sweeps stay independent, deterministic per seed, and
 // safe to fan out over the worker pool.
 
+// registerFaultScenarios adds the fault-sweep family to the scenario
+// registry; called from the experiments init so registration order
+// matches the evaluation's presentation order.
+func registerFaultScenarios() {
+	RegisterScenario(Scenario{ID: "faults",
+		Title: "Barrier latency vs random loss rate (Myrinet recovers, Quadrics flat)", Figure: FaultLossSweep})
+	RegisterScenario(Scenario{ID: "faults-burst",
+		Title: "Barrier latency vs Gilbert–Elliott burst length at fixed loss", Figure: FaultBurstSweep})
+	RegisterScenario(Scenario{ID: "faults-jitter",
+		Title: "Barrier latency vs per-packet jitter (reaches both interconnects)", Figure: FaultJitterSweep})
+}
+
 // faultSeed derives the plan seed for one data point so that points are
 // independent but reproducible.
 func faultSeed(cfg Config, salt uint64) uint64 {

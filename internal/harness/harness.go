@@ -48,6 +48,20 @@ func PaperFidelity() Config {
 	return Config{Warmup: 100, Iters: 10000, Seed: 1, Permute: true, Parallel: true}
 }
 
+// ConfigFor maps a fidelity name to its measurement configuration —
+// the one place the fidelity vocabulary is defined, shared by every
+// CLI front end.
+func ConfigFor(fidelity string) (Config, error) {
+	switch fidelity {
+	case "quick":
+		return Quick(), nil
+	case "paper":
+		return PaperFidelity(), nil
+	default:
+		return Config{}, fmt.Errorf("harness: unknown fidelity %q (quick|paper)", fidelity)
+	}
+}
+
 // itersFor caps the iteration count for big clusters so 1024-node sweeps
 // stay tractable; latencies converge within a handful of iterations
 // because the simulators are deterministic.
@@ -88,6 +102,10 @@ type Figure struct {
 	Title  string
 	XLabel string
 	YLabel string
+	// Unit is the measurement unit of every point, used when the figure
+	// is flattened into a machine-readable report. Empty means
+	// simulated microseconds ("sim_us").
+	Unit   string
 	Series []Series
 	Notes  []string
 }

@@ -108,6 +108,54 @@ func TestFigureTableAndTSV(t *testing.T) {
 	if !strings.HasPrefix(lines[2], "4\t2.500") {
 		t.Fatalf("tsv row %q", lines[2])
 	}
+	// A series with no point at a given N leaves the TSV cell empty
+	// (adjacent tabs), so plotting tools see a gap, not a zero.
+	if raw := strings.Split(tsv, "\n"); raw[2] != "4\t2.500\t" {
+		t.Fatalf("missing point not an empty cell: %q", raw[2])
+	}
+}
+
+// Table must align rows across series with disjoint N sets: the union
+// of Ns appears once each, sorted, with "-" where a series has no data.
+func TestFigureTableDisjointSeries(t *testing.T) {
+	f := Figure{
+		ID: "figY", Title: "disjoint", XLabel: "N", YLabel: "lat",
+		Series: []Series{
+			{Name: "only-evens", Points: []Point{{4, 1}, {2, 2}}},
+			{Name: "only-eights", Points: []Point{{8, 3}}},
+		},
+	}
+	lines := strings.Split(strings.TrimSpace(f.Table()), "\n")
+	// title line + axis line + column line + 3 data rows
+	if len(lines) != 6 {
+		t.Fatalf("table lines: %v", lines)
+	}
+	for i, wantN := range []string{"2", "4", "8"} {
+		row := strings.Fields(lines[3+i])
+		if row[0] != wantN {
+			t.Fatalf("row %d starts with %q, want N=%s (sorted union)", i, row[0], wantN)
+		}
+	}
+	// N=8 exists only in the second series.
+	if row := strings.Fields(lines[5]); row[1] != "-" || row[2] != "3.00" {
+		t.Fatalf("row 8 = %v", row)
+	}
+	tsvLines := strings.Split(strings.TrimSpace(f.TSV()), "\n")
+	if tsvLines[3] != "8\t\t3.000" {
+		t.Fatalf("tsv row 8 = %q", tsvLines[3])
+	}
+}
+
+// An empty figure still renders its header without panicking.
+func TestFigureTableEmpty(t *testing.T) {
+	f := Figure{ID: "figZ", Title: "empty", XLabel: "N", YLabel: "lat", Notes: []string{"n"}}
+	out := f.Table()
+	if !strings.Contains(out, "figZ") || !strings.Contains(out, "note: n") {
+		t.Fatalf("empty table rendering:\n%s", out)
+	}
+	if got := f.TSV(); got != "N\n" {
+		t.Fatalf("empty tsv %q", got)
+	}
 }
 
 func TestLatencyStats(t *testing.T) {
@@ -137,9 +185,8 @@ func TestRunUnknownExperiment(t *testing.T) {
 	if _, err := Run("nope", tinyCfg()); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if len(Experiments()) != 12 {
-		t.Fatalf("experiment list: %v", Experiments())
-	}
+	// Membership and order of Experiments() are asserted in
+	// TestRegistryHasAllExperiments.
 }
 
 // Every experiment must run end to end under a tiny config and mention

@@ -12,7 +12,12 @@ import (
 	"nicbarrier/internal/myrinet"
 )
 
-// Row is one paper-vs-measured comparison.
+// Row is one paper-vs-measured comparison. Indentation in Metric
+// (leading spaces) means "derived from the row above" — it both groups
+// the rendered table visually and nests the exported metric name under
+// the parent row in Table.ToPoints. Rows that are independent absolute
+// measurements must not be indented, or their report metric would claim
+// a false parent.
 type Row struct {
 	Metric   string
 	Unit     string
@@ -94,7 +99,10 @@ func Summary(cfg Config) Table {
 		Rows: []Row{
 			{"Quadrics NIC-based barrier, 8 nodes", "us", 5.60, quadNIC},
 			{"  improvement over elan_gsync tree barrier", "x", 2.48, quadGsync / quadNIC},
-			{"  elan_hgsync hardware barrier, 8 nodes", "us", 4.20, quadHW},
+			// Not indented: an independent absolute measurement of a
+			// different scheme, not a quantity derived from the row above
+			// (indentation nests metric names in ToPoints).
+			{"elan_hgsync hardware barrier, 8 nodes", "us", 4.20, quadHW},
 			{"Myrinet LANai-XP NIC-based barrier, 8 nodes", "us", 14.20, xpNIC},
 			{"  improvement over host-based barrier", "x", 2.64, xpHost / xpNIC},
 			{"Myrinet LANai 9.1 NIC-based barrier, 16 nodes", "us", 25.72, l9NIC},
