@@ -9,6 +9,11 @@
 //	barrier-bench -fig all                 # everything, quick loop
 //	barrier-bench -fig fig6 -fidelity paper
 //	barrier-bench -fig fig8a -format tsv   # plottable output
+//
+// Profiling the simulator itself (see README "Performance"):
+//
+//	barrier-bench -fig fig8a -fidelity paper -cpuprofile cpu.pprof
+//	barrier-bench -fig all -memprofile mem.pprof
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"nicbarrier/internal/harness"
 )
@@ -24,7 +31,7 @@ func main() {
 	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func realMain(args []string, stdout, stderr io.Writer) int {
+func realMain(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("barrier-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fig := fs.String("fig", "all", "experiment to run: all, "+list())
@@ -34,11 +41,40 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "seed for node permutations")
 	serial := fs.Bool("serial", false, "disable the parallel sweep worker pool")
 	listOnly := fs.Bool("list", false, "list experiments and exit")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "barrier-bench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "barrier-bench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Written on the way out so it covers the whole run; a failed
+		// write fails the command (unless it already failed for another
+		// reason) — a missing profile must not look like a clean run.
+		defer func() {
+			if err := writeMemProfile(*memprofile); err != nil {
+				fmt.Fprintf(stderr, "barrier-bench: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	if *listOnly {
@@ -79,6 +115,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, out)
 	}
 	return 0
+}
+
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle accounting so the profile shows live + allocated truthfully
+	return pprof.WriteHeapProfile(f)
 }
 
 func list() string {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,6 +46,31 @@ func TestList(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("listing missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, _, errb := bench(t, "-fig", "packets", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+	if code, _, _ := bench(t, "-fig", "packets", "-cpuprofile", filepath.Join(dir, "no", "dir", "x")); code == 0 {
+		t.Error("unwritable cpuprofile path accepted")
+	}
+	if code, _, _ := bench(t, "-fig", "packets", "-memprofile", filepath.Join(dir, "no", "dir", "x")); code == 0 {
+		t.Error("unwritable memprofile path exited 0")
 	}
 }
 

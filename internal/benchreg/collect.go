@@ -2,20 +2,28 @@ package benchreg
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"nicbarrier/internal/harness"
+	"nicbarrier/internal/sim"
 )
 
 // Collect runs each scenario `repeats` times under cfg and aggregates
 // every flattened data point into a Report: per-metric median and
-// spread across repeats, plus one "<id>/wall_ns" metric per scenario
-// recording how long the simulator took to reproduce it.
+// spread across repeats, plus per-scenario simulator-speed metrics —
+// "<id>/wall_ns" (total wall clock), "<id>/ns_per_event" and
+// "<id>/allocs_per_event" (wall clock and heap allocations divided by
+// the number of simulation events the scenario fired, measured as the
+// delta of sim.TotalExecuted and runtime.MemStats.Mallocs across the
+// run). The per-event pair is how the zero-allocation hot path shows
+// up in reports: a change that reintroduces per-packet allocation moves
+// allocs_per_event visibly even when wall_ns noise hides it.
 //
 // Simulated metrics are deterministic per seed, so their spread is zero
-// and the median is exact; repeats exist to give wall-clock metrics a
-// noise estimate and to keep the pipeline honest if a future scenario
-// introduces nondeterminism.
+// and the median is exact; repeats exist to give wall-clock and
+// allocator metrics a noise estimate and to keep the pipeline honest if
+// a future scenario introduces nondeterminism.
 func Collect(cfg harness.Config, fidelity string, repeats int, scens []harness.Scenario) (*Report, error) {
 	if repeats < 1 {
 		return nil, fmt.Errorf("benchreg: repeats %d < 1", repeats)
@@ -38,12 +46,23 @@ func Collect(cfg harness.Config, fidelity string, repeats int, scens []harness.S
 		r.Config.Scenarios = append(r.Config.Scenarios, s.ID)
 		samples := make(map[string][]float64) // metric name -> one value per repeat
 		units := make(map[string]string)
-		var wall []float64
+		var wall, nsPerEvent, allocsPerEvent []float64
 		var order []string // first repeat's metric order, kept for output stability
 		for rep := 0; rep < repeats; rep++ {
+			var memBefore, memAfter runtime.MemStats
+			runtime.ReadMemStats(&memBefore)
+			eventsBefore := sim.TotalExecuted()
 			start := time.Now()
 			pts := s.Points(cfg)
-			wall = append(wall, float64(time.Since(start).Nanoseconds()))
+			elapsed := float64(time.Since(start).Nanoseconds())
+			events := sim.TotalExecuted() - eventsBefore
+			runtime.ReadMemStats(&memAfter)
+			wall = append(wall, elapsed)
+			if events > 0 {
+				nsPerEvent = append(nsPerEvent, elapsed/float64(events))
+				allocsPerEvent = append(allocsPerEvent,
+					float64(memAfter.Mallocs-memBefore.Mallocs)/float64(events))
+			}
 			if len(pts) == 0 {
 				return nil, fmt.Errorf("benchreg: scenario %q produced no points", s.ID)
 			}
@@ -78,6 +97,23 @@ func Collect(cfg harness.Config, fidelity string, repeats int, scens []harness.S
 			Value:  Median(wall),
 			Spread: spread(wall),
 		})
+		// Scenarios that never touch the event engine (pure analytic
+		// models) have no per-event cost to report.
+		if len(nsPerEvent) == repeats {
+			r.Metrics = append(r.Metrics,
+				Metric{
+					Name:   s.ID + "/ns_per_event",
+					Unit:   "ns/ev",
+					Value:  Median(nsPerEvent),
+					Spread: spread(nsPerEvent),
+				},
+				Metric{
+					Name:   s.ID + "/allocs_per_event",
+					Unit:   "allocs/ev",
+					Value:  Median(allocsPerEvent),
+					Spread: spread(allocsPerEvent),
+				})
+		}
 	}
 	if err := r.Validate(); err != nil {
 		return nil, err

@@ -62,7 +62,10 @@ func DefaultPolicy() Policy {
 			// Paper-improvement ratios compound two measurements.
 			"x": {Rel: 0.05, Abs: 0.02},
 		},
-		Informational:  map[string]bool{"ns/op": true},
+		// Wall-clock and allocator behavior vary with the machine and Go
+		// release; the hard zero-alloc gate for the hot path lives in the
+		// micro-benchmark CI job, not here.
+		Informational:  map[string]bool{"ns/op": true, "ns/ev": true, "allocs/ev": true},
 		HigherIsBetter: map[string]bool{"x": true},
 		Exact:          map[string]bool{"pkts": true},
 		NoiseMult:      2,

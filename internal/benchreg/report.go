@@ -33,7 +33,9 @@ type Metric struct {
 	Name string `json:"name"`
 	// Unit: "sim_us" (simulated microseconds), "pkts" (wire packets per
 	// barrier), "x" (improvement ratio, higher is better), "ns/op"
-	// (wall-clock nanoseconds per scenario reproduction).
+	// (wall-clock nanoseconds per scenario reproduction), "ns/ev"
+	// (wall-clock nanoseconds per simulated event), "allocs/ev" (heap
+	// allocations per simulated event).
 	Unit string `json:"unit"`
 	// Value is the median across repeats.
 	Value float64 `json:"value"`
@@ -63,7 +65,14 @@ type Report struct {
 
 // knownUnits lists every unit the harness emits; Validate rejects others
 // so a typo cannot silently escape the comparator's per-unit policy.
-var knownUnits = map[string]bool{"sim_us": true, "pkts": true, "x": true, "ns/op": true}
+var knownUnits = map[string]bool{
+	"sim_us":    true,
+	"pkts":      true,
+	"x":         true,
+	"ns/op":     true,
+	"ns/ev":     true,
+	"allocs/ev": true,
+}
 
 // Validate checks the report is schema-compatible and internally
 // consistent: correct schema string, at least one metric, no duplicate

@@ -171,13 +171,25 @@ func TestCollectRealScenario(t *testing.T) {
 	if !ok || m.Unit != "pkts" || m.Value <= 0 {
 		t.Fatalf("packets metric: %+v (ok=%v)", m, ok)
 	}
+	// A simulation-backed scenario reports its per-event simulator cost.
+	perEv, ok := rep.Metric("packets/ns_per_event")
+	if !ok || perEv.Unit != "ns/ev" || perEv.Value <= 0 {
+		t.Fatalf("ns_per_event metric: %+v (ok=%v)", perEv, ok)
+	}
+	allocsEv, ok := rep.Metric("packets/allocs_per_event")
+	if !ok || allocsEv.Unit != "allocs/ev" || allocsEv.Value < 0 {
+		t.Fatalf("allocs_per_event metric: %+v (ok=%v)", allocsEv, ok)
+	}
 	// Determinism: same seed twice gives identical simulated values.
+	// Wall-clock-derived units (ns/op, ns/ev, allocs/ev) are measured,
+	// not simulated, and legitimately vary between runs.
 	rep2, err := Collect(cfg, "quick", 2, []harness.Scenario{s})
 	if err != nil {
 		t.Fatalf("Collect 2: %v", err)
 	}
+	measured := map[string]bool{"ns/op": true, "ns/ev": true, "allocs/ev": true}
 	for i, m := range rep.Metrics {
-		if m.Unit == "ns/op" {
+		if measured[m.Unit] {
 			continue
 		}
 		if rep2.Metrics[i].Value != m.Value || rep2.Metrics[i].Spread != 0 {

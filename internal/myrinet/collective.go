@@ -28,7 +28,7 @@ type collOp struct {
 	state     *core.OpState
 	reduce    *core.ReduceState // non-nil for allreduce groups
 	nextSeq   int
-	nackTimer *sim.Timer
+	nackTimer sim.Timer
 	// nackServed counts NACKs answered per (seq, wantRank). A repeat NACK
 	// means the first retransmission was lost too, so the reply escalates
 	// to two back-to-back copies: under random loss that squares the
@@ -177,10 +177,8 @@ func (c *collModule) onMsg(m collPayload) {
 }
 
 func (c *collModule) complete(op *collOp, seq int) {
-	if op.nackTimer != nil {
-		op.nackTimer.Cancel()
-		op.nackTimer = nil
-	}
+	op.nackTimer.Cancel() // no-op when never armed or already fired
+	op.nackTimer = sim.Timer{}
 	n := c.nic
 	n.Stats.BarriersRun++
 	var value int64

@@ -65,7 +65,7 @@ type recordKey struct {
 // collective protocol replaces a set of these with one bit vector.
 type sendRecord struct {
 	pkt   netsim.Packet
-	timer *sim.Timer
+	timer sim.Timer
 }
 
 // NICStats counts NIC-level protocol activity; experiments and tests read

@@ -224,6 +224,60 @@ func TestMulticastHopSeesPerDestinationPacket(t *testing.T) {
 	}
 }
 
+// An OnReject observer that fires inline mid-replication and issues
+// another Multicast must not corrupt the outer replication's
+// shared-trunk bookkeeping: the outer loop's remaining destinations
+// still ride the trunk links it already walked, exactly as with the
+// pre-memoization per-call maps.
+func TestMulticastReentrantObserverKeepsTrunkBookkeeping(t *testing.T) {
+	eng := sim.NewEngine()
+	ft := topo.NewFatTree(4, 2)
+	// Zero per-hop latency keeps every head time at Now, which is what
+	// makes the mid-route reject fire its observer inline.
+	net := New(eng, ft, Params{WirePerHop: 0, SwitchLatency: 0, BandwidthMBps: 250}, nil)
+	arrivals := map[int]sim.Time{}
+	for h := 0; h < 16; h++ {
+		h := h
+		net.Attach(h, func(p Packet) { arrivals[h] = eng.Now() })
+	}
+	// Reject outer-kind packets on the descend link toward host 4
+	// (hop 2 of route 0->4), after the trunk links are already walked.
+	cut := net.Topology().Route(0, 4)[2]
+	net.SetImpairment(hookImp{hop: func(p Packet, link, _, _ int, _ sim.Time) Outcome {
+		return Outcome{Reject: p.Kind == "outer" && link == cut}
+	}})
+	reentered := false
+	net.OnReject(func(Packet) {
+		if reentered {
+			return
+		}
+		reentered = true
+		net.Multicast(Packet{Src: 0, Dst: -1, Size: 100, Kind: "inner"}, []int{12})
+	})
+	// Outer replication: dst 4 is rejected mid-walk (triggering the
+	// nested multicast), dst 8 must still reuse the outer walk's trunk
+	// head times — one serialization (400ns), not a re-walk behind the
+	// nested worm's occupancy.
+	net.Multicast(Packet{Src: 0, Dst: -1, Size: 100, Kind: "outer"}, []int{4, 8})
+	eng.Run()
+	if !reentered {
+		t.Fatal("reject observer never fired inline")
+	}
+	if _, got := arrivals[4]; got {
+		t.Fatal("rejected destination 4 was delivered")
+	}
+	if at := arrivals[8]; at != 400 {
+		t.Fatalf("outer destination 8 arrived at %v, want 400ns (trunk bookkeeping reused)", at)
+	}
+	if at := arrivals[12]; at != 800 {
+		t.Fatalf("nested destination 12 arrived at %v, want 800ns (queued behind the outer worm)", at)
+	}
+	c := net.Counters()
+	if c.Sent != 2 || c.Delivered != 2 || c.Dropped != 1 || c.Rejected != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
 func TestRandomLossZeroRateNeedsNoRNG(t *testing.T) {
 	l := &RandomLoss{Rate: 0} // nil RNG: must not be touched
 	if l.Drop(Packet{Kind: "data"}) {

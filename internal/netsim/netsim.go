@@ -175,6 +175,13 @@ type Counters struct {
 }
 
 // Network binds a topology to physical parameters and attached receivers.
+//
+// The per-packet path is allocation-free in steady state: delivery is
+// dispatched through pooled packet events (no closures), routes come
+// memoized from the topology, packet kinds are interned to dense
+// counter indices, and multicast bookkeeping lives in epoch-stamped
+// scratch arrays. The string-keyed ByKind map exists only in the
+// Counters() snapshot.
 type Network struct {
 	eng       *sim.Engine
 	topo      topo.Topology
@@ -184,7 +191,96 @@ type Network struct {
 	loss      LossModel
 	imp       Impairment
 	onReject  func(Packet)
-	counters  Counters
+	// counters holds the scalar totals; per-kind counts live in
+	// kindCounts, indexed by the interned kind ID.
+	counters   Counters
+	kindIDs    map[string]int
+	kindNames  []string
+	kindCounts []uint64
+	// freeEvents is the pool of packet events; events return here after
+	// firing, so steady-state scheduling recycles instead of allocating.
+	freeEvents *pktEvent
+	mcast      mcastScratch
+}
+
+// pktEvent is the pooled, closure-free form of a scheduled packet
+// action. The engine dispatches it through the sim.Event interface; op
+// selects what happens to the packet when the event fires.
+type pktEvent struct {
+	n    *Network
+	pkt  Packet
+	dsts []int // multicast destinations, opMulticastBody only
+	op   uint8
+	next *pktEvent // pool free-list link
+}
+
+const (
+	opDeliver uint8 = iota
+	opTransmit
+	opMulticastBody
+	opReject
+)
+
+// Fire implements sim.Event. The event returns to the pool before its
+// action runs: handlers routinely send more packets, and those sends
+// may need events from the pool.
+func (pe *pktEvent) Fire() {
+	n, pkt, dsts, op := pe.n, pe.pkt, pe.dsts, pe.op
+	n.putEvent(pe)
+	switch op {
+	case opDeliver:
+		n.deliver(pkt)
+	case opTransmit:
+		n.transmit(pkt)
+	case opMulticastBody:
+		n.multicastBody(pkt, dsts)
+	case opReject:
+		if n.onReject != nil {
+			n.onReject(pkt)
+		}
+	}
+}
+
+func (n *Network) getEvent(op uint8, pkt Packet, dsts []int) *pktEvent {
+	pe := n.freeEvents
+	if pe == nil {
+		pe = &pktEvent{n: n}
+	} else {
+		n.freeEvents = pe.next
+	}
+	pe.pkt, pe.dsts, pe.op, pe.next = pkt, dsts, op, nil
+	return pe
+}
+
+func (n *Network) putEvent(pe *pktEvent) {
+	pe.pkt = Packet{} // release the payload reference
+	pe.dsts = nil
+	pe.next = n.freeEvents
+	n.freeEvents = pe
+}
+
+// mcastScratch is the reusable multicast bookkeeping: per-link head
+// times and dead-link outcomes, validity-stamped with the epoch of the
+// multicast that wrote them so nothing needs clearing between calls.
+// inUse guards against reentrancy: an OnReject observer that fires
+// inline mid-replication may issue another Multicast, and that nested
+// replication must not stamp over the outer one's entries.
+type mcastScratch struct {
+	epoch   uint64
+	inUse   bool
+	headSet []uint64 // headAt[link] is valid iff headSet[link] == epoch
+	headAt  []sim.Time
+	deadSet []uint64 // deadOut[link] is valid iff deadSet[link] == epoch
+	deadOut []Outcome
+}
+
+func newMcastScratch(links int) mcastScratch {
+	return mcastScratch{
+		headSet: make([]uint64, links),
+		headAt:  make([]sim.Time, links),
+		deadSet: make([]uint64, links),
+		deadOut: make([]Outcome, links),
+	}
 }
 
 // New builds a network over the given topology. Loss may be nil for a
@@ -196,15 +292,30 @@ func New(eng *sim.Engine, t topo.Topology, p Params, loss LossModel) *Network {
 	if loss == nil {
 		loss = NoLoss{}
 	}
+	links := t.LinkCount()
 	return &Network{
 		eng:       eng,
 		topo:      t,
 		params:    p,
-		busyUntil: make([]sim.Time, t.LinkCount()),
+		busyUntil: make([]sim.Time, links),
 		recv:      make([]func(Packet), t.Hosts()),
 		loss:      loss,
-		counters:  Counters{ByKind: make(map[string]uint64)},
+		kindIDs:   make(map[string]int),
+		mcast:     newMcastScratch(links),
 	}
+}
+
+// countKind bumps the interned per-kind counter, interning the kind on
+// first sight. Steady-state cost is one map read; no allocation.
+func (n *Network) countKind(kind string) {
+	id, ok := n.kindIDs[kind]
+	if !ok {
+		id = len(n.kindNames)
+		n.kindIDs[kind] = id
+		n.kindNames = append(n.kindNames, kind)
+		n.kindCounts = append(n.kindCounts, 0)
+	}
+	n.kindCounts[id]++
 }
 
 // SetImpairment installs (or clears, with nil) the fault hook. Installing
@@ -219,19 +330,28 @@ func (n *Network) OnReject(fn func(Packet)) { n.onReject = fn }
 // Topology exposes the underlying topology.
 func (n *Network) Topology() topo.Topology { return n.topo }
 
-// Counters returns a snapshot of the traffic counters.
+// Counters returns a snapshot of the traffic counters. The ByKind map
+// is built on demand from the interned per-kind counters; kinds with a
+// zero count (possible after ResetCounters) are omitted.
 func (n *Network) Counters() Counters {
 	snap := n.counters
-	snap.ByKind = make(map[string]uint64, len(n.counters.ByKind))
-	for k, v := range n.counters.ByKind {
-		snap.ByKind[k] = v
+	snap.ByKind = make(map[string]uint64, len(n.kindNames))
+	for id, name := range n.kindNames {
+		if c := n.kindCounts[id]; c > 0 {
+			snap.ByKind[name] = c
+		}
 	}
 	return snap
 }
 
-// ResetCounters zeroes the traffic accounting (e.g. after warmup).
+// ResetCounters zeroes the traffic accounting (e.g. after warmup). The
+// kind interning table survives: IDs are stable for the network's
+// lifetime, only the counts reset.
 func (n *Network) ResetCounters() {
-	n.counters = Counters{ByKind: make(map[string]uint64)}
+	n.counters = Counters{}
+	for i := range n.kindCounts {
+		n.kindCounts[i] = 0
+	}
 }
 
 // Attach registers the receive callback for a host. It panics when the
@@ -269,7 +389,7 @@ func (n *Network) recordDrop(pkt Packet, out Outcome, midRoute bool, at sim.Time
 		n.counters.Rejected++
 		if n.onReject != nil {
 			if at > n.eng.Now() {
-				n.eng.Schedule(at, func() { n.onReject(pkt) })
+				n.eng.ScheduleEvent(at, n.getEvent(opReject, pkt, nil))
 			} else {
 				n.onReject(pkt)
 			}
@@ -283,7 +403,7 @@ func (n *Network) recordDrop(pkt Packet, out Outcome, midRoute bool, at sim.Time
 func (n *Network) Send(pkt Packet) {
 	n.counters.Sent++
 	n.counters.Bytes += uint64(pkt.Size)
-	n.counters.ByKind[pkt.Kind]++
+	n.countKind(pkt.Kind)
 	if pkt.Src == pkt.Dst {
 		panic(fmt.Sprintf("netsim: loopback packet %d->%d; NIC models handle self-delivery", pkt.Src, pkt.Dst))
 	}
@@ -300,7 +420,7 @@ func (n *Network) Send(pkt Packet) {
 		if out.Delay > 0 {
 			// Injection delay postpones the whole transmission (the worm
 			// has not entered the network yet).
-			n.eng.After(out.Delay, func() { n.transmit(pkt) })
+			n.eng.AfterEvent(out.Delay, n.getEvent(opTransmit, pkt, nil))
 			return
 		}
 	}
@@ -314,7 +434,7 @@ func (n *Network) transmit(pkt Packet) {
 	if !ok {
 		return
 	}
-	n.eng.Schedule(arrival.Add(n.serialization(pkt)), func() { n.deliver(pkt) })
+	n.eng.ScheduleEvent(arrival.Add(n.serialization(pkt)), n.getEvent(opDeliver, pkt, nil))
 }
 
 // linkStep advances a packet head across one link: queue behind the
@@ -386,7 +506,7 @@ func (n *Network) deliver(pkt Packet) {
 func (n *Network) Multicast(pkt Packet, dsts []int) {
 	n.counters.Sent++
 	n.counters.Bytes += uint64(pkt.Size)
-	n.counters.ByKind[pkt.Kind]++
+	n.countKind(pkt.Kind)
 	if n.loss.Drop(pkt) {
 		n.recordDrop(pkt, Outcome{Drop: true}, false, n.eng.Now())
 		return
@@ -398,7 +518,7 @@ func (n *Network) Multicast(pkt Packet, dsts []int) {
 			return
 		}
 		if out.Delay > 0 {
-			n.eng.After(out.Delay, func() { n.multicastBody(pkt, dsts) })
+			n.eng.AfterEvent(out.Delay, n.getEvent(opMulticastBody, pkt, dsts))
 			return
 		}
 	}
@@ -414,9 +534,23 @@ func (n *Network) multicastBody(pkt Packet, dsts []int) {
 	// so Dst-scoped rules prune exactly the branch serving that
 	// destination; on a shared trunk the first destination to walk the
 	// link decides for everyone behind it, mirroring how the worm forks
-	// once per switch.
-	headAt := make(map[int]sim.Time)
-	dead := make(map[int]Outcome)
+	// once per switch. The bookkeeping lives in epoch-stamped scratch
+	// arrays indexed by link ID: bumping the epoch invalidates the
+	// previous multicast's entries without clearing anything. A nested
+	// replication (an inline OnReject observer re-multicasting) gets a
+	// fresh allocation instead — rare enough not to matter, and the
+	// shared scratch must keep serving the outer loop it is mid-way
+	// through.
+	sc := &n.mcast
+	if sc.inUse {
+		fresh := newMcastScratch(len(n.busyUntil))
+		sc = &fresh
+	} else {
+		sc.inUse = true
+		defer func() { sc.inUse = false }()
+	}
+	sc.epoch++
+	ep := sc.epoch
 	for _, dst := range dsts {
 		if dst == pkt.Src {
 			continue
@@ -427,28 +561,30 @@ func (n *Network) multicastBody(pkt Packet, dsts []int) {
 		route := n.topo.Route(pkt.Src, dst)
 		lost := false
 		for i, link := range route {
-			if out, isDead := dead[link]; isDead {
-				n.recordDrop(p, out, true, t)
+			if sc.deadSet[link] == ep {
+				n.recordDrop(p, sc.deadOut[link], true, t)
 				lost = true
 				break
 			}
-			if cached, ok := headAt[link]; ok {
-				t = cached
+			if sc.headSet[link] == ep {
+				t = sc.headAt[link]
 				continue
 			}
 			next, out, ok := n.linkStep(p, link, i, len(route), t, ser)
 			if !ok {
-				dead[link] = out
+				sc.deadSet[link] = ep
+				sc.deadOut[link] = out
 				n.recordDrop(p, out, true, next)
 				lost = true
 				break
 			}
 			t = next
-			headAt[link] = t
+			sc.headSet[link] = ep
+			sc.headAt[link] = t
 		}
 		if lost {
 			continue
 		}
-		n.eng.Schedule(t.Add(ser), func() { n.deliver(p) })
+		n.eng.ScheduleEvent(t.Add(ser), n.getEvent(opDeliver, p, nil))
 	}
 }

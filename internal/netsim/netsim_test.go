@@ -200,6 +200,114 @@ func TestMulticastSharedTrunk(t *testing.T) {
 	}
 }
 
+// Shared-trunk deduplication must hold on the cached-route path: a
+// second multicast (every route now memoized, scratch arrays reused)
+// must replicate with exactly the same relative timing and accounting
+// as the first.
+func TestMulticastSharedTrunkCachedRoutes(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, topo.NewFatTree(4, 2), testParams(), nil)
+	arrivals := map[int]sim.Time{}
+	for h := 0; h < 16; h++ {
+		h := h
+		net.Attach(h, func(Packet) { arrivals[h] = eng.Now() })
+	}
+	dsts := make([]int, 16)
+	for i := range dsts {
+		dsts[i] = i
+	}
+	relative := func(start sim.Time) map[int]sim.Duration {
+		rel := make(map[int]sim.Duration, len(arrivals))
+		for h, at := range arrivals {
+			rel[h] = at.Sub(start)
+		}
+		return rel
+	}
+
+	net.Multicast(Packet{Src: 0, Dst: -1, Size: 8, Kind: "bcast"}, dsts)
+	eng.Run()
+	first := relative(0)
+
+	// Re-issue far enough in the future that every link has gone idle;
+	// only the cached routes and reused scratch differ from run one.
+	start := eng.Now().Add(sim.Micros(100))
+	eng.Schedule(start, func() {
+		net.Multicast(Packet{Src: 0, Dst: -1, Size: 8, Kind: "bcast"}, dsts)
+	})
+	eng.Run()
+	second := relative(start)
+
+	if len(first) != 15 || len(second) != 15 {
+		t.Fatalf("reached %d then %d hosts, want 15 both times", len(first), len(second))
+	}
+	for h, d := range first {
+		if second[h] != d {
+			t.Fatalf("host %d: cached-route multicast latency %v, first run %v", h, second[h], d)
+		}
+	}
+	c := net.Counters()
+	if c.Sent != 2 || c.Delivered != 30 || c.Dropped != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// Dead-link pruning must hold on the cached-route path: after a clean
+// multicast has memoized every route, cutting a shared descend link
+// loses exactly the destinations behind it, one drop each.
+func TestMulticastDeadLinkPrunesCachedRoutes(t *testing.T) {
+	eng := sim.NewEngine()
+	net := New(eng, topo.NewFatTree(4, 2), testParams(), nil)
+	delivered := map[int]bool{}
+	for h := 0; h < 16; h++ {
+		h := h
+		net.Attach(h, func(Packet) { delivered[h] = true })
+	}
+	dsts := make([]int, 16)
+	for i := range dsts {
+		dsts[i] = i
+	}
+	// Warm every cache with an unimpaired replication.
+	net.Multicast(Packet{Src: 0, Dst: -1, Size: 8, Kind: "bcast"}, dsts)
+	eng.Run()
+	if len(delivered) != 15 {
+		t.Fatalf("clean multicast reached %d hosts, want 15", len(delivered))
+	}
+	base := net.Counters()
+
+	// The top-switch -> leaf-1 descend link serves hosts 4..7 from
+	// src 0; killing it must prune exactly that subtree.
+	trunk := net.Topology().Route(0, 4)[2]
+	net.SetImpairment(dropLink{link: trunk})
+	delivered = map[int]bool{}
+	net.Multicast(Packet{Src: 0, Dst: -1, Size: 8, Kind: "bcast"}, dsts)
+	eng.Run()
+
+	if len(delivered) != 11 {
+		t.Fatalf("pruned multicast reached %d hosts, want 11", len(delivered))
+	}
+	for _, h := range []int{4, 5, 6, 7} {
+		if delivered[h] {
+			t.Fatalf("host %d behind the dead link was delivered", h)
+		}
+	}
+	c := net.Counters()
+	if got := c.Dropped - base.Dropped; got != 4 {
+		t.Fatalf("dropped %d, want 4 (one per destination behind the dead link)", got)
+	}
+	if got := c.HopDropped - base.HopDropped; got != 4 {
+		t.Fatalf("hop-dropped %d, want 4", got)
+	}
+}
+
+// dropLink discards any packet whose head reaches the given link.
+type dropLink struct{ link int }
+
+func (d dropLink) Inject(Packet, sim.Time) Outcome { return Outcome{} }
+
+func (d dropLink) Hop(_ Packet, link, _, _ int, _ sim.Time) Outcome {
+	return Outcome{Drop: link == d.link}
+}
+
 func TestAttachGuards(t *testing.T) {
 	eng := sim.NewEngine()
 	net := New(eng, topo.NewCrossbar(2), testParams(), nil)

@@ -1,58 +1,91 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
-// event is a single scheduled callback.
-type event struct {
-	at     Time
-	seq    uint64 // tie-breaker: FIFO among events at the same instant
-	fn     func()
-	cancel bool
+// Event is the allocation-free alternative to a closure callback: a
+// value implementing Event is dispatched by the engine without capturing
+// anything. Hot paths (the wire simulator's per-packet events) pool
+// their Event implementations and schedule them via ScheduleEvent, so a
+// steady-state simulation performs no per-event heap allocation at all.
+type Event interface {
+	Fire()
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
+// entry is one scheduled occurrence, stored by value in the engine's
+// queue. Exactly one of fn and ev is set.
+type entry struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	slot int32  // handle slot backing the Timer for this entry
+	fn   func()
+	ev   Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders entries by (at, seq) — the engine's total event order.
+// seq is unique per engine, so the order is strict and the firing
+// sequence does not depend on the queue's internal layout.
+func (a entry) before(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// Timer handle slots. A slot is acquired per scheduled entry and
+// released when the entry fires or is removed; its generation counter
+// increments on release, so a stale Timer held across the slot's reuse
+// can never cancel the wrong event.
+const (
+	slotFree = iota
+	slotLive
+	slotCancelled
+)
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+type slot struct {
+	gen   uint64
+	state uint8
+	next  int32 // free-list link, valid while state == slotFree
 }
+
+// compactMin is the queue size below which cancelled entries are left
+// for lazy removal; compacting tiny queues is churn for no benefit.
+const compactMin = 64
 
 // Engine is the discrete-event simulation core. The zero value is not
-// usable; construct with NewEngine.
+// usable; construct with NewEngine. An Engine (and everything scheduled
+// on it) belongs to a single goroutine.
+//
+// The queue is a value-typed 4-ary min-heap with a slot-based free list
+// for Timer handles: steady-state scheduling performs no heap
+// allocation (the backing arrays are reused), Cancel is O(1) (entries
+// are marked through their slot and skipped when they surface), and the
+// queue compacts itself when cancelled entries outnumber live ones.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	queue   []entry
 	seq     uint64
 	stopped bool
 	// executed counts events that have run; useful as a progress and
 	// complexity metric in tests and benchmarks.
 	executed uint64
+	// flushed is the executed prefix already added to the process-wide
+	// counter (see TotalExecuted).
+	flushed uint64
+	// live counts scheduled, not-yet-fired, not-cancelled entries;
+	// Pending returns it in O(1).
+	live int
+	// cancelled counts cancelled entries still occupying the queue.
+	cancelled int
+	slots     []slot
+	freeSlot  int32 // head of the slot free list, -1 when empty
 }
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{freeSlot: -1}
 }
 
 // Now reports the current virtual time.
@@ -62,50 +95,180 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending reports how many events are scheduled and not cancelled.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancel {
-			n++
-		}
+func (e *Engine) Pending() int { return e.live }
+
+// totalExecuted accumulates fired events across every engine in the
+// process; engines flush their local counts into it when a Run variant
+// returns, so the per-event hot path stays free of atomics.
+var totalExecuted atomic.Uint64
+
+// TotalExecuted reports the process-wide count of fired simulation
+// events, aggregated across all engines at Run/RunUntil/RunCondition
+// boundaries. The benchmark reporting layer divides wall-clock and
+// allocation deltas by deltas of this counter to derive per-event cost
+// metrics.
+func TotalExecuted() uint64 { return totalExecuted.Load() }
+
+func (e *Engine) flushExecuted() {
+	if d := e.executed - e.flushed; d > 0 {
+		totalExecuted.Add(d)
+		e.flushed = e.executed
 	}
-	return n
+}
+
+// --- 4-ary min-heap over entries ---
+//
+// Arity 4 halves the tree depth of the binary heap: sift-up does fewer
+// comparisons per level and the four children of a node share a cache
+// line of entries, which is where a discrete-event queue spends its
+// time.
+
+func (e *Engine) push(en entry) {
+	e.queue = append(e.queue, en)
+	e.siftUp(len(e.queue) - 1)
+}
+
+func (e *Engine) siftUp(i int) {
+	en := e.queue[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !en.before(e.queue[p]) {
+			break
+		}
+		e.queue[i] = e.queue[p]
+		i = p
+	}
+	e.queue[i] = en
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.queue)
+	en := e.queue[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.queue[j].before(e.queue[m]) {
+				m = j
+			}
+		}
+		if !e.queue[m].before(en) {
+			break
+		}
+		e.queue[i] = e.queue[m]
+		i = m
+	}
+	e.queue[i] = en
+}
+
+// popMin removes and returns the minimum entry. The vacated tail cell
+// is zeroed so dropped fn/ev references do not pin garbage.
+func (e *Engine) popMin() entry {
+	min := e.queue[0]
+	n := len(e.queue) - 1
+	last := e.queue[n]
+	e.queue[n] = entry{}
+	e.queue = e.queue[:n]
+	if n > 0 {
+		e.queue[0] = last
+		e.siftDown(0)
+	}
+	return min
+}
+
+// --- Timer handle slots ---
+
+func (e *Engine) acquireSlot() int32 {
+	if s := e.freeSlot; s >= 0 {
+		e.freeSlot = e.slots[s].next
+		e.slots[s].state = slotLive
+		return s
+	}
+	e.slots = append(e.slots, slot{state: slotLive})
+	return int32(len(e.slots) - 1)
+}
+
+// releaseSlot returns a slot to the free list and bumps its generation,
+// invalidating every outstanding Timer that still points at it.
+func (e *Engine) releaseSlot(s int32) {
+	sl := &e.slots[s]
+	sl.gen++
+	sl.state = slotFree
+	sl.next = e.freeSlot
+	e.freeSlot = s
 }
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics: it
 // always indicates a modeling bug, and silently reordering time would
 // invalidate every latency measurement built on the engine.
-func (e *Engine) Schedule(at Time, fn func()) *Timer {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
-	}
+func (e *Engine) Schedule(at Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	return e.schedule(at, fn, nil)
+}
+
+// ScheduleEvent is Schedule for pooled Event values: no closure, and no
+// allocation on the engine side — the entry lives by value in the queue.
+func (e *Engine) ScheduleEvent(at Time, ev Event) Timer {
+	if ev == nil {
+		panic("sim: nil event")
+	}
+	return e.schedule(at, nil, ev)
+}
+
+func (e *Engine) schedule(at Time, fn func(), ev Event) Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	s := e.acquireSlot()
+	e.push(entry{at: at, seq: e.seq, slot: s, fn: fn, ev: ev})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	e.live++
+	return Timer{eng: e, slot: s, gen: e.slots[s].gen}
 }
 
 // After runs fn d after the current time.
-func (e *Engine) After(d Duration, fn func()) *Timer {
+func (e *Engine) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.Schedule(e.now.Add(d), fn)
 }
 
+// AfterEvent runs ev d after the current time.
+func (e *Engine) AfterEvent(d Duration, ev Event) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.ScheduleEvent(e.now.Add(d), ev)
+}
+
 // Step executes the single next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancel {
+		en := e.popMin()
+		if e.slots[en.slot].state == slotCancelled {
+			e.cancelled--
+			e.releaseSlot(en.slot)
 			continue
 		}
-		e.now = ev.at
+		e.releaseSlot(en.slot)
+		e.now = en.at
 		e.executed++
-		ev.fn()
+		e.live--
+		if en.fn != nil {
+			en.fn()
+		} else {
+			en.ev.Fire()
+		}
 		return true
 	}
 	return false
@@ -116,20 +279,22 @@ func (e *Engine) Run() {
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
+	e.flushExecuted()
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline. It reports whether the queue drained before the
 // deadline (i.e. no runnable event remained at or past it).
 func (e *Engine) RunUntil(deadline Time) bool {
+	defer e.flushExecuted()
 	e.stopped = false
 	for !e.stopped {
-		ev := e.peek()
-		if ev == nil {
+		en, ok := e.peek()
+		if !ok {
 			e.now = maxTime(e.now, deadline)
 			return true
 		}
-		if ev.at > deadline {
+		if en.at > deadline {
 			e.now = deadline
 			return false
 		}
@@ -142,6 +307,7 @@ func (e *Engine) RunUntil(deadline Time) bool {
 // or the queue drains. It reports whether the predicate was satisfied.
 // This is how experiments run "until the barrier completed".
 func (e *Engine) RunCondition(pred func() bool) bool {
+	defer e.flushExecuted()
 	e.stopped = false
 	if pred() {
 		return true
@@ -158,15 +324,45 @@ func (e *Engine) RunCondition(pred func() bool) bool {
 // event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-func (e *Engine) peek() *event {
+// peek returns the next live entry without firing it, lazily discarding
+// cancelled entries that have surfaced at the queue head.
+func (e *Engine) peek() (entry, bool) {
 	for len(e.queue) > 0 {
-		if e.queue[0].cancel {
-			heap.Pop(&e.queue)
+		if e.slots[e.queue[0].slot].state == slotCancelled {
+			en := e.popMin()
+			e.cancelled--
+			e.releaseSlot(en.slot)
 			continue
 		}
-		return e.queue[0]
+		return e.queue[0], true
 	}
-	return nil
+	return entry{}, false
+}
+
+// compact removes every cancelled entry from the queue in one O(n)
+// rebuild. Without it, a workload that schedules and cancels many
+// timers (retransmission timers under heavy loss) would grow the queue
+// unboundedly until the dead entries' timestamps surfaced.
+func (e *Engine) compact() {
+	kept := e.queue[:0]
+	for _, en := range e.queue {
+		if e.slots[en.slot].state == slotCancelled {
+			e.cancelled--
+			e.releaseSlot(en.slot)
+			continue
+		}
+		kept = append(kept, en)
+	}
+	for i := len(kept); i < len(e.queue); i++ {
+		e.queue[i] = entry{}
+	}
+	e.queue = kept
+	// Floyd heapify: restore the 4-ary heap property bottom-up.
+	if n := len(e.queue); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			e.siftDown(i)
+		}
+	}
 }
 
 func maxTime(a, b Time) Time {
@@ -176,18 +372,37 @@ func maxTime(a, b Time) Time {
 	return b
 }
 
-// Timer is a handle for a scheduled event; its only operation is Cancel.
+// Timer is a value handle for a scheduled event; its only operation is
+// Cancel. The zero Timer is valid and cancels nothing. Handles are
+// generation-stamped: once the event fires (or the cancellation is
+// collected), the underlying slot is recycled with a new generation, so
+// a retained Timer stays inert instead of cancelling an unrelated
+// later event.
 type Timer struct {
-	ev *event
+	eng  *Engine
+	slot int32
+	gen  uint64
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled timer is a no-op. It reports whether the event was
-// still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancel {
+// still pending. Cancel is O(1): the entry is marked through its slot
+// and skipped when it surfaces; when cancelled entries outnumber live
+// ones the queue compacts itself.
+func (t Timer) Cancel() bool {
+	e := t.eng
+	if e == nil {
 		return false
 	}
-	t.ev.cancel = true
+	sl := &e.slots[t.slot]
+	if sl.state != slotLive || sl.gen != t.gen {
+		return false
+	}
+	sl.state = slotCancelled
+	e.cancelled++
+	e.live--
+	if len(e.queue) >= compactMin && e.cancelled > len(e.queue)/2 {
+		e.compact()
+	}
 	return true
 }

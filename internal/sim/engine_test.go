@@ -116,10 +116,156 @@ func TestTimerCancel(t *testing.T) {
 	}
 }
 
-func TestTimerCancelNil(t *testing.T) {
-	var timer *Timer
+func TestTimerCancelZero(t *testing.T) {
+	var timer Timer
 	if timer.Cancel() {
-		t.Fatal("nil timer Cancel reported pending")
+		t.Fatal("zero timer Cancel reported pending")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	timer := e.After(10, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("event ran %d times, want 1", ran)
+	}
+	if timer.Cancel() {
+		t.Fatal("Cancel after fire reported pending")
+	}
+	if timer.Cancel() {
+		t.Fatal("second Cancel after fire reported pending")
+	}
+}
+
+// A Timer retained across its slot's reuse must stay inert: the
+// generation stamp has moved on, so cancelling the stale handle cannot
+// kill the unrelated event now occupying the slot.
+func TestTimerGenerationReuse(t *testing.T) {
+	e := NewEngine()
+	stale := e.After(1, func() {})
+	e.Run() // fires; the slot returns to the free list
+	ran := false
+	e.After(1, func() { ran = true }) // reuses the same slot
+	if stale.Cancel() {
+		t.Fatal("stale timer cancelled a recycled slot's event")
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("event on recycled slot did not fire")
+	}
+}
+
+// Cancelled-then-rescheduled churn must not leak slots or queue space.
+func TestTimerSlotReuseAfterCancel(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10*compactMin; i++ {
+		timer := e.After(1000, func() {})
+		if !timer.Cancel() {
+			t.Fatal("fresh timer not pending")
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after cancelling everything", e.Pending())
+	}
+	if len(e.queue) >= compactMin {
+		t.Fatalf("queue holds %d entries after mass cancellation; compaction did not run", len(e.queue))
+	}
+	if len(e.slots) > 2*compactMin {
+		t.Fatalf("slot table grew to %d for a schedule/cancel loop", len(e.slots))
+	}
+}
+
+// Pending is a live counter, not a queue scan: it must track schedule,
+// cancel, and fire exactly.
+func TestPendingCounter(t *testing.T) {
+	e := NewEngine()
+	timers := make([]Timer, 10)
+	for i := range timers {
+		timers[i] = e.After(Duration(i+1), func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10", e.Pending())
+	}
+	timers[3].Cancel()
+	timers[7].Cancel()
+	if e.Pending() != 8 {
+		t.Fatalf("pending = %d after 2 cancels, want 8", e.Pending())
+	}
+	timers[3].Cancel() // double cancel must not double-count
+	if e.Pending() != 8 {
+		t.Fatalf("pending = %d after double cancel, want 8", e.Pending())
+	}
+	e.Step()
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d after one step, want 7", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after drain, want 0", e.Pending())
+	}
+	if e.Executed() != 8 {
+		t.Fatalf("executed = %d, want 8", e.Executed())
+	}
+}
+
+type countEvent struct{ fired int }
+
+func (c *countEvent) Fire() { c.fired++ }
+
+func TestScheduleEvent(t *testing.T) {
+	e := NewEngine()
+	ev := &countEvent{}
+	e.ScheduleEvent(10, ev)
+	e.AfterEvent(20, ev)
+	timer := e.AfterEvent(30, ev)
+	if !timer.Cancel() {
+		t.Fatal("event timer not pending")
+	}
+	e.Run()
+	if ev.fired != 2 {
+		t.Fatalf("event fired %d times, want 2", ev.fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock %v, want 20", e.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil Event did not panic")
+		}
+	}()
+	e.ScheduleEvent(100, nil)
+}
+
+// Interleaved cancels and fires across compaction boundaries must keep
+// the firing order identical to a never-cancelling reference engine.
+func TestCancelCompactionOrdering(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var timers []Timer
+	for i := 0; i < 4*compactMin; i++ {
+		i := i
+		timers = append(timers, e.Schedule(Time(1000+i), func() { fired = append(fired, i) }))
+	}
+	want := make([]int, 0, len(timers))
+	for i, timer := range timers {
+		if i%4 != 0 {
+			if !timer.Cancel() {
+				t.Fatalf("timer %d not pending", i)
+			}
+		} else {
+			want = append(want, i)
+		}
+	}
+	e.Run()
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired[%d] = %d, want %d", i, fired[i], want[i])
+		}
 	}
 }
 

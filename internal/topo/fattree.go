@@ -27,12 +27,22 @@ type FatTree struct {
 	k, n    int
 	hosts   int
 	swPerLv int // k^(n-1)
-	links   map[linkKey]int
-	ends    []linkKey
+	// out is the dense adjacency: out[node] lists that node's outgoing
+	// links as (neighbor, link ID) pairs. Node degree is bounded by 2k,
+	// so linkID resolution is a short scan over one contiguous slice —
+	// no map, no hashing — and it only runs while a route is first
+	// built (routes are memoized).
+	out    [][]linkTo
+	ends   []linkKey
+	routes routeTable
 }
 
 type linkKey struct {
 	from, to int // encoded node IDs
+}
+
+type linkTo struct {
+	to, id int32
 }
 
 // NewFatTree constructs a k-ary n-tree. It panics for k < 2 or n < 1;
@@ -45,14 +55,16 @@ func NewFatTree(k, n int) *FatTree {
 		panic("topo: fat tree dimension must be >= 1")
 	}
 	hosts := pow(k, n)
+	swPerLv := pow(k, n-1)
 	t := &FatTree{
 		k:       k,
 		n:       n,
 		hosts:   hosts,
-		swPerLv: pow(k, n-1),
-		links:   make(map[linkKey]int),
+		swPerLv: swPerLv,
+		out:     make([][]linkTo, hosts+n*swPerLv),
 	}
 	t.build()
+	t.routes = newRouteTable(hosts, t.buildRoute)
 	return t
 }
 
@@ -82,12 +94,13 @@ func pow(b, e int) int {
 func (t *FatTree) swID(level, c int) int { return t.hosts + level*t.swPerLv + c }
 
 func (t *FatTree) addLink(from, to int) {
-	key := linkKey{from, to}
-	if _, dup := t.links[key]; dup {
-		panic("topo: duplicate link in fat tree construction")
+	for _, l := range t.out[from] {
+		if int(l.to) == to {
+			panic("topo: duplicate link in fat tree construction")
+		}
 	}
-	t.links[key] = len(t.ends)
-	t.ends = append(t.ends, key)
+	t.out[from] = append(t.out[from], linkTo{to: int32(to), id: int32(len(t.ends))})
+	t.ends = append(t.ends, linkKey{from, to})
 }
 
 func (t *FatTree) build() {
@@ -147,11 +160,12 @@ func (t *FatTree) SwitchHops(src, dst int) int {
 }
 
 func (t *FatTree) linkID(from, to int) int {
-	id, ok := t.links[linkKey{from, to}]
-	if !ok {
-		panic(fmt.Sprintf("topo: no link %d->%d", from, to))
+	for _, l := range t.out[from] {
+		if int(l.to) == to {
+			return int(l.id)
+		}
 	}
-	return id
+	panic(fmt.Sprintf("topo: no link %d->%d", from, to))
 }
 
 func (t *FatTree) Route(src, dst int) []int {
@@ -159,6 +173,10 @@ func (t *FatTree) Route(src, dst int) []int {
 	if src == dst {
 		return nil
 	}
+	return t.routes.route(src, dst)
+}
+
+func (t *FatTree) buildRoute(src, dst int) []int {
 	m := t.ncaLevel(src, dst)
 	path := make([]int, 0, 2*m+2)
 

@@ -7,6 +7,13 @@
 // routing queries with the exact sequence of links a packet traverses.
 // The network simulator (internal/netsim) keeps per-link occupancy state
 // keyed by these IDs, which is how output-port contention is modeled.
+//
+// Routing is deterministic, so Route answers are memoized: the slice a
+// topology returns is cached and shared across calls — callers must
+// treat it as read-only. Memoization makes routing allocation-free in
+// steady state (the wire simulator's per-packet hot path), and it makes
+// a topology single-goroutine state, like the network that owns it:
+// do not share one topology between concurrently running simulations.
 package topo
 
 import "fmt"
@@ -22,6 +29,8 @@ type Topology interface {
 	LinkCount() int
 	// Route returns the directed link IDs traversed from src to dst,
 	// in order. Routing is deterministic. src == dst returns nil.
+	// The returned slice is memoized and shared: callers must not
+	// modify it.
 	Route(src, dst int) []int
 	// SwitchHops reports how many switches a packet from src to dst
 	// traverses (0 when src == dst).
@@ -42,11 +51,43 @@ func checkHostRange(t Topology, src, dst int) {
 	}
 }
 
+// routeTable memoizes Route answers per (src, dst) pair. Rows are
+// materialized lazily on a source's first routing query, so an n-rank
+// group simulated on a much larger cluster only pays for the sources it
+// actually uses; within a row, each destination's route is built once
+// by the topology's routing function and shared forever after.
+type routeTable struct {
+	hosts int
+	rows  [][][]int // [src][dst] -> cached route, rows allocated lazily
+	build func(src, dst int) []int
+}
+
+func newRouteTable(hosts int, build func(src, dst int) []int) routeTable {
+	return routeTable{hosts: hosts, rows: make([][][]int, hosts), build: build}
+}
+
+// route returns the cached route for src != dst, building it on first
+// use. Callers handle the src == dst nil-route case.
+func (rt *routeTable) route(src, dst int) []int {
+	row := rt.rows[src]
+	if row == nil {
+		row = make([][]int, rt.hosts)
+		rt.rows[src] = row
+	}
+	if r := row[dst]; r != nil {
+		return r
+	}
+	r := rt.build(src, dst)
+	row[dst] = r
+	return r
+}
+
 // Crossbar is a single wormhole crossbar switch with H host ports — the
 // Myrinet-2000 configuration for the paper's 8- and 16-node clusters
 // (one 16-port switch).
 type Crossbar struct {
-	hosts int
+	hosts  int
+	routes routeTable
 }
 
 // NewCrossbar builds a single-switch topology with the given number of
@@ -55,7 +96,9 @@ func NewCrossbar(hosts int) *Crossbar {
 	if hosts < 1 {
 		panic("topo: crossbar needs at least one host")
 	}
-	return &Crossbar{hosts: hosts}
+	c := &Crossbar{hosts: hosts}
+	c.routes = newRouteTable(hosts, c.buildRoute)
+	return c
 }
 
 func (c *Crossbar) Name() string { return fmt.Sprintf("crossbar-%d", c.hosts) }
@@ -73,6 +116,10 @@ func (c *Crossbar) Route(src, dst int) []int {
 	if src == dst {
 		return nil
 	}
+	return c.routes.route(src, dst)
+}
+
+func (c *Crossbar) buildRoute(src, dst int) []int {
 	return []int{2 * src, 2*dst + 1}
 }
 
