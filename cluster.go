@@ -1,0 +1,286 @@
+package nicbarrier
+
+import (
+	"fmt"
+
+	"nicbarrier/internal/barrier"
+	"nicbarrier/internal/comm"
+	"nicbarrier/internal/elan"
+	"nicbarrier/internal/harness"
+	"nicbarrier/internal/hwprofile"
+	"nicbarrier/internal/myrinet"
+	"nicbarrier/internal/netsim"
+	"nicbarrier/internal/sim"
+)
+
+// Cluster is a persistent simulated cluster that many process groups
+// share — the multi-tenant face of the library. Where the one-shot
+// Measure* functions build a cluster, run one group, and throw both
+// away, a Cluster lives across operations: create groups over arbitrary
+// node subsets with NewGroup, run their collectives (concurrently, via
+// MeasureWorkload/RunWorkload, or back to back via the Group methods),
+// and let them contend for the NIC group-queue slots, firmware
+// processors and links the way the paper's per-group protocol intends.
+//
+//	c, _ := nicbarrier.NewCluster(nicbarrier.Config{
+//		Interconnect: nicbarrier.MyrinetLANaiXP,
+//		Nodes:        16,
+//		Scheme:       nicbarrier.NICCollective,
+//	})
+//	g1, _ := c.NewGroup([]int{0, 1, 2, 3})
+//	g2, _ := c.NewGroup([]int{4, 5, 6, 7})
+//	res, _ := g1.Barrier(10, 1000) // g2 may run its own ops on the same wire
+type Cluster struct {
+	cfg Config
+	c   *comm.Cluster
+}
+
+// NewCluster builds a simulated cluster from cfg (Nodes, Interconnect,
+// LossRate, Faults, Seed). The Scheme and Algorithm fields set the
+// default for groups created on it.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	switch cfg.Interconnect {
+	case MyrinetLANai91, MyrinetLANaiXP:
+		var loss netsim.LossModel
+		if cfg.LossRate > 0 {
+			loss = &netsim.RandomLoss{Rate: cfg.LossRate, RNG: sim.NewRNG(cfg.Seed + 1)}
+		}
+		cl := myrinet.NewCluster(eng, myrinetProfile(cfg.Interconnect), cfg.Nodes, loss)
+		applyMyrinetFaults(cfg, cl)
+		return &Cluster{cfg: cfg, c: comm.OverMyrinet(cl)}, nil
+	case QuadricsElan3:
+		cl := elan.NewCluster(eng, hwprofile.Elan3Cluster(), cfg.Nodes)
+		if plan := compileFaults(cfg.Faults, cfg.Seed, cl.Prof.Net.BandwidthMBps); plan != nil {
+			cl.SetFaults(plan)
+		}
+		return &Cluster{cfg: cfg, c: comm.OverElan(cl)}, nil
+	default:
+		return nil, fmt.Errorf("nicbarrier: unknown interconnect %d", int(cfg.Interconnect))
+	}
+}
+
+// Group is one communicator on a shared Cluster: a node subset with its
+// own NIC group-queue slot, bit-vector records and sequence space per
+// collective shape it runs. The first Barrier/Broadcast/Allreduce call
+// claims the slot; repeated calls reuse it (the operation sequence
+// continues, as the protocol's long-lived group queues do).
+type Group struct {
+	c       *Cluster
+	members []int
+
+	barrierG *comm.Group
+	bcastG   map[[2]int]*comm.Group
+	reduceG  map[ReduceOperator]*comm.Group
+}
+
+// NewGroup declares a communicator over the given node IDs (rank
+// order). NIC resources are claimed lazily by the first collective run
+// on it, so declaring a group is free; running one fails cleanly when a
+// member NIC's group-queue slots are exhausted.
+func (c *Cluster) NewGroup(members []int) (*Group, error) {
+	if len(members) < 1 {
+		return nil, fmt.Errorf("nicbarrier: empty group")
+	}
+	seen := make(map[int]bool, len(members))
+	for _, id := range members {
+		if id < 0 || id >= c.cfg.Nodes {
+			return nil, fmt.Errorf("nicbarrier: member node %d outside cluster of %d", id, c.cfg.Nodes)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("nicbarrier: member node %d repeated", id)
+		}
+		seen[id] = true
+	}
+	return &Group{c: c, members: append([]int(nil), members...)}, nil
+}
+
+// Size reports the number of ranks in the group.
+func (g *Group) Size() int { return len(g.members) }
+
+// schemes maps the public scheme to the backend selector.
+func (c *Cluster) commSchemes() (myrinet.Scheme, elan.Scheme, error) {
+	quadrics := c.cfg.Interconnect == QuadricsElan3
+	switch c.cfg.Scheme {
+	case HostBased:
+		return myrinet.SchemeHost, elan.SchemeGsync, nil
+	case NICDirect:
+		return myrinet.SchemeDirect, 0, nil
+	case NICCollective:
+		return myrinet.SchemeCollective, elan.SchemeChained, nil
+	case HardwareBroadcast:
+		if quadrics {
+			return 0, elan.SchemeHW, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("nicbarrier: scheme %v unsupported on %v", c.cfg.Scheme, c.cfg.Interconnect)
+}
+
+// Barrier runs warmup+iters consecutive barriers on this group, using
+// the cluster Config's Scheme and Algorithm, and returns latency
+// statistics over the measured iterations. Other groups on the cluster
+// are untouched and may run their own operations concurrently via
+// MeasureWorkload-style driving.
+func (g *Group) Barrier(warmup, iters int) (Result, error) {
+	if err := checkLoop(warmup, iters); err != nil {
+		return Result{}, err
+	}
+	if g.barrierG == nil {
+		ms, es, err := g.c.commSchemes()
+		if err != nil {
+			return Result{}, err
+		}
+		alg := g.c.cfg.Algorithm.internal()
+		if g.c.cfg.Interconnect == QuadricsElan3 && g.c.cfg.Scheme == HostBased {
+			alg = barrier.GatherBroadcast
+		}
+		cg, err := g.c.c.NewGroup(comm.GroupConfig{
+			Members:       g.members,
+			Kind:          comm.OpBarrier,
+			Algorithm:     alg,
+			Options:       barrier.Options{TreeDegree: g.c.cfg.TreeDegree},
+			MyrinetScheme: ms,
+			ElanScheme:    es,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		g.barrierG = cg
+	}
+	return g.c.measure(g.barrierG, warmup, iters), nil
+}
+
+// Broadcast runs warmup+iters NIC-based broadcasts from root down a
+// degree-ary tree (Myrinet clusters only).
+func (g *Group) Broadcast(root, degree, warmup, iters int) (Result, error) {
+	if err := checkLoop(warmup, iters); err != nil {
+		return Result{}, err
+	}
+	if g.c.cfg.Interconnect == QuadricsElan3 {
+		return Result{}, fmt.Errorf("nicbarrier: NIC-based broadcast is implemented on Myrinet")
+	}
+	if root < 0 || root >= len(g.members) {
+		return Result{}, fmt.Errorf("nicbarrier: root %d outside group of %d", root, len(g.members))
+	}
+	if degree == 0 {
+		degree = 4
+	}
+	key := [2]int{root, degree}
+	if g.bcastG == nil {
+		g.bcastG = make(map[[2]int]*comm.Group)
+	}
+	cg := g.bcastG[key]
+	if cg == nil {
+		var err error
+		cg, err = g.c.c.NewGroup(comm.GroupConfig{
+			Members: g.members,
+			Kind:    comm.OpBroadcast,
+			Root:    root,
+			Degree:  degree,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		g.bcastG[key] = cg
+	}
+	return g.c.measure(cg, warmup, iters), nil
+}
+
+// allreduceContrib is the deterministic contribution the library's
+// allreduce measurements feed in (and self-check against).
+func allreduceContrib(rank, iter int) int64 { return int64(rank*131 + iter*17 - 64) }
+
+// Allreduce runs warmup+iters NIC-based single-word allreduces with the
+// given operator (Myrinet clusters only), self-checking every
+// iteration's result on every rank against the reference reduction.
+func (g *Group) Allreduce(op ReduceOperator, warmup, iters int) (Result, error) {
+	if err := checkLoop(warmup, iters); err != nil {
+		return Result{}, err
+	}
+	if g.c.cfg.Interconnect == QuadricsElan3 {
+		return Result{}, fmt.Errorf("nicbarrier: NIC-based allreduce is implemented on Myrinet")
+	}
+	if g.reduceG == nil {
+		g.reduceG = make(map[ReduceOperator]*comm.Group)
+	}
+	cg := g.reduceG[op]
+	if cg == nil {
+		var err error
+		cg, err = g.c.c.NewGroup(comm.GroupConfig{
+			Members:   g.members,
+			Kind:      comm.OpAllreduce,
+			Algorithm: g.c.cfg.Algorithm.internal(),
+			Options:   barrier.Options{TreeDegree: g.c.cfg.TreeDegree},
+			Reduce:    op.internal(),
+			Contrib:   allreduceContrib,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		g.reduceG[op] = cg
+	}
+	res := g.c.measure(cg, warmup, iters)
+	for iter, row := range cg.Results() {
+		want := allreduceContrib(0, iter)
+		for r := 1; r < len(g.members); r++ {
+			want = op.internal().Combine(want, allreduceContrib(r, iter))
+		}
+		for rank, got := range row {
+			if got != want {
+				return Result{}, fmt.Errorf(
+					"nicbarrier: allreduce iteration %d rank %d: got %d, want %d", iter, rank, got, want)
+			}
+		}
+	}
+	return res, nil
+}
+
+func checkLoop(warmup, iters int) error {
+	if warmup < 0 || iters < 1 {
+		return fmt.Errorf("nicbarrier: warmup %d / iters %d", warmup, iters)
+	}
+	return nil
+}
+
+// measure drives one comm group exclusively for warmup+iters operations
+// and assembles a Result from counter deltas, so repeated measurements
+// on a shared cluster stay independent. On a fresh cluster the deltas
+// equal the absolutes, which keeps the one-shot Measure* wrappers
+// bit-identical to their historical behavior.
+func (c *Cluster) measure(cg *comm.Group, warmup, iters int) Result {
+	sent0, dropped0, retrans0 := c.counters()
+	t0 := c.c.Eng.Now()
+	cg.Reset()
+	doneAt := cg.Run(warmup + iters)
+	c.c.Eng.Run() // drain trailing ACKs and events for accurate counters
+	if t0 != 0 {
+		shifted := make([]sim.Time, len(doneAt))
+		for i, at := range doneAt {
+			shifted[i] = sim.Time(0).Add(at.Sub(t0))
+		}
+		doneAt = shifted
+	}
+	st := harness.LatencyStats(doneAt, warmup)
+	sent, dropped, retrans := c.counters()
+	return Result{
+		MeanMicros: st.MeanUS, MinMicros: st.MinUS, MaxMicros: st.MaxUS,
+		StdMicros: st.StdUS, Iterations: st.Iterations,
+		PacketsPerBarrier: float64(sent-sent0) / float64(warmup+iters),
+		Retransmissions:   retrans - retrans0,
+		DroppedPackets:    dropped - dropped0,
+	}
+}
+
+// counters snapshots the cluster-wide wire and recovery accounting.
+func (c *Cluster) counters() (sent, dropped, retrans uint64) {
+	if my := c.c.My; my != nil {
+		net := my.Net.Counters()
+		nic := my.Stats()
+		return net.Sent, net.Dropped, nic.Retransmits + nic.CollResent
+	}
+	net := c.c.El.Net.Counters()
+	return net.Sent, net.Dropped, 0
+}

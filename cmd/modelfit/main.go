@@ -11,16 +11,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nicbarrier"
 )
 
 func main() {
-	net := flag.String("net", "quadrics", "interconnect: xp or quadrics")
-	maxNodes := flag.Int("max", 1024, "largest cluster size to measure")
-	fidelity := flag.String("fidelity", "quick", "quick or paper")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("modelfit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	net := fs.String("net", "quadrics", "interconnect: xp or quadrics")
+	maxNodes := fs.Int("max", 1024, "largest cluster size to measure")
+	fidelity := fs.String("fidelity", "quick", "quick or paper")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	var ic nicbarrier.Interconnect
 	switch *net {
@@ -29,36 +41,42 @@ func main() {
 	case "quadrics":
 		ic = nicbarrier.QuadricsElan3
 	default:
-		fmt.Fprintf(os.Stderr, "modelfit: unknown -net %q (xp|quadrics)\n", *net)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "modelfit: unknown -net %q (xp|quadrics)\n", *net)
+		return 1
 	}
 	f := nicbarrier.Quick
-	if *fidelity == "paper" {
+	switch *fidelity {
+	case "quick":
+	case "paper":
 		f = nicbarrier.PaperFidelity
+	default:
+		fmt.Fprintf(stderr, "modelfit: unknown -fidelity %q (quick|paper)\n", *fidelity)
+		return 1
 	}
 
 	fitted, err := nicbarrier.FitScalabilityModel(ic, *maxNodes, f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "modelfit: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "modelfit: %v\n", err)
+		return 1
 	}
 	paper, hasPaper := nicbarrier.PaperModel(ic)
 
-	fmt.Printf("scalability model for %s (measured up to %d nodes)\n", ic, *maxNodes)
-	fmt.Printf("  fitted: %s\n", fitted.Equation)
+	fmt.Fprintf(stdout, "scalability model for %s (measured up to %d nodes)\n", ic, *maxNodes)
+	fmt.Fprintf(stdout, "  fitted: %s\n", fitted.Equation)
 	if hasPaper {
-		fmt.Printf("  paper:  %s\n", paper.Equation)
+		fmt.Fprintf(stdout, "  paper:  %s\n", paper.Equation)
 	}
-	fmt.Printf("\n%8s %12s", "N", "fitted(us)")
+	fmt.Fprintf(stdout, "\n%8s %12s", "N", "fitted(us)")
 	if hasPaper {
-		fmt.Printf(" %12s", "paper(us)")
+		fmt.Fprintf(stdout, " %12s", "paper(us)")
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for n := 2; n <= 1024; n *= 2 {
-		fmt.Printf("%8d %12.2f", n, fitted.Predict(n))
+		fmt.Fprintf(stdout, "%8d %12.2f", n, fitted.Predict(n))
 		if hasPaper {
-			fmt.Printf(" %12.2f", paper.Predict(n))
+			fmt.Fprintf(stdout, " %12.2f", paper.Predict(n))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mf(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFitQuadrics(t *testing.T) {
+	code, out, errb := mf(t, "-net", "quadrics", "-max", "16")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"scalability model for quadrics-elan3", "fitted:", "paper:", "1024"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFitMyrinetXP(t *testing.T) {
+	code, out, errb := mf(t, "-net", "xp", "-max", "8")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "myrinet-lanai-xp") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	if code, _, _ := mf(t, "-net", "ethernet"); code == 0 {
+		t.Error("unknown net accepted")
+	}
+	if code, _, _ := mf(t, "-fidelity", "turbo"); code == 0 {
+		t.Error("unknown fidelity accepted")
+	}
+	if code, _, _ := mf(t, "-max", "2"); code == 0 {
+		t.Error("undersized -max accepted")
+	}
+	if code, _, _ := mf(t, "-h"); code != 0 {
+		t.Error("-h did not exit 0")
+	}
+}

@@ -1,6 +1,6 @@
-// Command nicsim runs one configured barrier or broadcast measurement on
-// a simulated cluster and prints full statistics — the exploratory
-// companion to barrier-bench's fixed experiment suite.
+// Command nicsim runs one configured barrier, broadcast or allreduce
+// measurement on a simulated cluster and prints full statistics — the
+// exploratory companion to barrier-bench's fixed experiment suite.
 //
 // Examples:
 //
@@ -9,30 +9,44 @@
 //	nicsim -net lanai91 -nodes 16 -scheme host -alg PE -iters 10000
 //	nicsim -net xp -nodes 8 -scheme collective -loss 0.02
 //	nicsim -net xp -nodes 16 -broadcast -root 0 -degree 4
+//	nicsim -net xp -nodes 16 -allreduce max
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nicbarrier"
 )
 
 func main() {
-	net := flag.String("net", "xp", "interconnect: xp (Myrinet LANai-XP), lanai91 (Myrinet LANai 9.1), quadrics (Elan3)")
-	nodes := flag.Int("nodes", 8, "number of participating nodes")
-	scheme := flag.String("scheme", "collective", "barrier scheme: host, direct, collective, hw")
-	alg := flag.String("alg", "DS", "barrier algorithm: DS, PE, GB")
-	degree := flag.Int("degree", 0, "gather-broadcast/broadcast tree degree (0: default 4)")
-	loss := flag.Float64("loss", 0, "random packet loss rate (Myrinet only)")
-	warmup := flag.Int("warmup", 100, "warmup iterations")
-	iters := flag.Int("iters", 1000, "measured iterations")
-	seed := flag.Uint64("seed", 1, "permutation/loss seed")
-	permute := flag.Bool("permute", true, "randomly permute node placement")
-	broadcast := flag.Bool("broadcast", false, "run the NIC-based broadcast extension instead of a barrier")
-	root := flag.Int("root", 0, "broadcast root rank")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nicsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	net := fs.String("net", "xp", "interconnect: xp (Myrinet LANai-XP), lanai91 (Myrinet LANai 9.1), quadrics (Elan3)")
+	nodes := fs.Int("nodes", 8, "number of participating nodes")
+	scheme := fs.String("scheme", "collective", "barrier scheme: host, direct, collective, hw")
+	alg := fs.String("alg", "DS", "barrier algorithm: DS, PE, GB")
+	degree := fs.Int("degree", 0, "gather-broadcast/broadcast tree degree (0: default 4)")
+	loss := fs.Float64("loss", 0, "random packet loss rate (Myrinet only)")
+	warmup := fs.Int("warmup", 100, "warmup iterations")
+	iters := fs.Int("iters", 1000, "measured iterations")
+	seed := fs.Uint64("seed", 1, "permutation/loss seed")
+	permute := fs.Bool("permute", true, "randomly permute node placement")
+	broadcast := fs.Bool("broadcast", false, "run the NIC-based broadcast extension instead of a barrier")
+	root := fs.Int("root", 0, "broadcast root rank")
+	allreduce := fs.String("allreduce", "", "run a NIC-based allreduce with this operator (sum, min, max) instead of a barrier")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	cfg := nicbarrier.Config{
 		Nodes:      *nodes,
@@ -49,7 +63,8 @@ func main() {
 	case "quadrics":
 		cfg.Interconnect = nicbarrier.QuadricsElan3
 	default:
-		fatalf("unknown -net %q", *net)
+		fmt.Fprintf(stderr, "nicsim: unknown -net %q\n", *net)
+		return 1
 	}
 	switch *scheme {
 	case "host":
@@ -61,7 +76,8 @@ func main() {
 	case "hw":
 		cfg.Scheme = nicbarrier.HardwareBroadcast
 	default:
-		fatalf("unknown -scheme %q", *scheme)
+		fmt.Fprintf(stderr, "nicsim: unknown -scheme %q\n", *scheme)
+		return 1
 	}
 	switch *alg {
 	case "DS", "ds":
@@ -71,39 +87,56 @@ func main() {
 	case "GB", "gb":
 		cfg.Algorithm = nicbarrier.GatherBroadcast
 	default:
-		fatalf("unknown -alg %q", *alg)
+		fmt.Fprintf(stderr, "nicsim: unknown -alg %q\n", *alg)
+		return 1
 	}
 
 	var res nicbarrier.Result
 	var err error
 	kind := "barrier"
-	if *broadcast {
+	switch {
+	case *broadcast && *allreduce != "":
+		fmt.Fprintln(stderr, "nicsim: -broadcast and -allreduce are mutually exclusive")
+		return 1
+	case *broadcast:
 		kind = "broadcast"
 		d := *degree
 		if d == 0 {
 			d = 4
 		}
 		res, err = nicbarrier.MeasureBroadcast(cfg, *root, d, *warmup, *iters)
-	} else {
+	case *allreduce != "":
+		kind = "allreduce"
+		var op nicbarrier.ReduceOperator
+		switch *allreduce {
+		case "sum":
+			op = nicbarrier.Sum
+		case "min":
+			op = nicbarrier.Min
+		case "max":
+			op = nicbarrier.Max
+		default:
+			fmt.Fprintf(stderr, "nicsim: unknown -allreduce operator %q (sum|min|max)\n", *allreduce)
+			return 1
+		}
+		res, err = nicbarrier.MeasureAllreduce(cfg, op, *warmup, *iters)
+	default:
 		res, err = nicbarrier.MeasureBarrier(cfg, *warmup, *iters)
 	}
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "nicsim: %v\n", err)
+		return 1
 	}
 
-	fmt.Printf("%s on %s, %d nodes, scheme=%s alg=%s\n",
+	fmt.Fprintf(stdout, "%s on %s, %d nodes, scheme=%s alg=%s\n",
 		kind, cfg.Interconnect, cfg.Nodes, cfg.Scheme, cfg.Algorithm)
-	fmt.Printf("  iterations        %d (after %d warmup)\n", res.Iterations, *warmup)
-	fmt.Printf("  latency mean      %8.2f us\n", res.MeanMicros)
-	fmt.Printf("  latency min/max   %8.2f / %.2f us\n", res.MinMicros, res.MaxMicros)
-	fmt.Printf("  latency stddev    %8.2f us\n", res.StdMicros)
-	fmt.Printf("  packets/operation %8.2f\n", res.PacketsPerBarrier)
+	fmt.Fprintf(stdout, "  iterations        %d (after %d warmup)\n", res.Iterations, *warmup)
+	fmt.Fprintf(stdout, "  latency mean      %8.2f us\n", res.MeanMicros)
+	fmt.Fprintf(stdout, "  latency min/max   %8.2f / %.2f us\n", res.MinMicros, res.MaxMicros)
+	fmt.Fprintf(stdout, "  latency stddev    %8.2f us\n", res.StdMicros)
+	fmt.Fprintf(stdout, "  packets/operation %8.2f\n", res.PacketsPerBarrier)
 	if *loss > 0 {
-		fmt.Printf("  retransmissions   %8d (loss rate %.1f%%)\n", res.Retransmissions, *loss*100)
+		fmt.Fprintf(stdout, "  retransmissions   %8d (loss rate %.1f%%)\n", res.Retransmissions, *loss*100)
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "nicsim: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func ns(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBarrierRun(t *testing.T) {
+	code, out, errb := ns(t, "-net", "xp", "-nodes", "8", "-warmup", "2", "-iters", "20")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"barrier on myrinet-lanai-xp", "latency mean", "packets/operation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBroadcastAndAllreduceRuns(t *testing.T) {
+	code, out, errb := ns(t, "-broadcast", "-nodes", "8", "-warmup", "1", "-iters", "10")
+	if code != 0 {
+		t.Fatalf("broadcast exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "broadcast on") {
+		t.Errorf("broadcast output:\n%s", out)
+	}
+	code, out, errb = ns(t, "-allreduce", "max", "-nodes", "8", "-warmup", "1", "-iters", "10")
+	if code != 0 {
+		t.Fatalf("allreduce exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "allreduce on") {
+		t.Errorf("allreduce output:\n%s", out)
+	}
+}
+
+func TestQuadricsHW(t *testing.T) {
+	code, out, errb := ns(t, "-net", "quadrics", "-scheme", "hw", "-warmup", "1", "-iters", "10")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "quadrics-elan3") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad net":           {"-net", "nope"},
+		"bad scheme":        {"-scheme", "nope"},
+		"bad alg":           {"-alg", "nope"},
+		"bad operator":      {"-allreduce", "median"},
+		"exclusive modes":   {"-broadcast", "-allreduce", "max"},
+		"loss on quadrics":  {"-net", "quadrics", "-loss", "0.1"},
+		"root out of range": {"-broadcast", "-root", "99"},
+	} {
+		if code, _, _ := ns(t, args...); code == 0 {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if code, _, _ := ns(t, "-h"); code != 0 {
+		t.Error("-h did not exit 0")
+	}
+}

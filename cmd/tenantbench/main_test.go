@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tb(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListScenarios(t *testing.T) {
+	code, out, _ := tb(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"saturate-64", "mixed-collectives", "open-loop-burst", "quadrics-tenants"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunOneScenario(t *testing.T) {
+	code, out, errb := tb(t, "-scenario", "mixed-collectives", "-ops", "8")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"mixed-collectives", "aggregate", "fairness", "p99(us)", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	code, out, errb := tb(t, "-scenario", "saturate-64", "-tenants", "4", "-ops", "5", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "4 tenants x 5 ops") {
+		t.Errorf("override not applied:\n%s", out)
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	if code, _, _ := tb(t); code == 0 {
+		t.Error("no selection accepted")
+	}
+	if code, _, _ := tb(t, "-scenario", "no-such"); code == 0 {
+		t.Error("unknown scenario accepted")
+	}
+	// 99 tenants cannot partition the 64-node cluster into groups of 2+.
+	if code, _, _ := tb(t, "-scenario", "saturate-64", "-tenants", "99"); code == 0 {
+		t.Error("unfittable tenant override accepted")
+	}
+	if code, _, _ := tb(t, "-h"); code != 0 {
+		t.Error("-h did not exit 0")
+	}
+}

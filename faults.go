@@ -104,6 +104,16 @@ func (f Fault) OnKinds(kinds ...string) Fault {
 	return f
 }
 
+// OnGroups limits the fault to packets carrying one of the given
+// process-group IDs (the collective protocol stamps its group ID into
+// the static packet; a cluster's first group is ID 1, and ungrouped p2p
+// traffic is group 0). This is how a fault targets one tenant's traffic
+// on nodes that several groups share.
+func (f Fault) OnGroups(groups ...int) Fault {
+	f.rule.Match.Groups = fault.Groups(groups...)
+	return f
+}
+
 // FromNodes limits the fault to packets sent by the given nodes.
 func (f Fault) FromNodes(nodes ...int) Fault {
 	f.rule.Match.Src = fault.Nodes(nodes...)

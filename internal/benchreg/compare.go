@@ -65,8 +65,11 @@ func DefaultPolicy() Policy {
 		// Wall-clock and allocator behavior vary with the machine and Go
 		// release; the hard zero-alloc gate for the hot path lives in the
 		// micro-benchmark CI job, not here.
-		Informational:  map[string]bool{"ns/op": true, "ns/ev": true, "allocs/ev": true},
-		HigherIsBetter: map[string]bool{"x": true},
+		Informational: map[string]bool{"ns/op": true, "ns/ev": true, "allocs/ev": true},
+		// Throughput ("kops/s") and fairness ("jain") come from the
+		// multi-tenant scenarios: deterministic per seed, and more is
+		// better for both.
+		HigherIsBetter: map[string]bool{"x": true, "kops/s": true, "jain": true},
 		Exact:          map[string]bool{"pkts": true},
 		NoiseMult:      2,
 		FailOnMissing:  true,

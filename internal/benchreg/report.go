@@ -72,6 +72,10 @@ var knownUnits = map[string]bool{
 	"ns/op":     true,
 	"ns/ev":     true,
 	"allocs/ev": true,
+	// Multi-tenant workload metrics: throughput in kilo-operations per
+	// simulated second and Jain's fairness index.
+	"kops/s": true,
+	"jain":   true,
 }
 
 // Validate checks the report is schema-compatible and internally

@@ -1,0 +1,299 @@
+// Package comm is the multi-tenant communicator subsystem layered over
+// the simulated interconnects. Where the measurement sessions in
+// internal/myrinet and internal/elan drive one process group at a time,
+// a comm.Cluster multiplexes many Groups over one cluster: each group
+// claims its own NIC group-queue slot (a hard SRAM resource — creation
+// fails cleanly when a member NIC is full), owns its own bit-vector
+// records and sequence space, and completes independently, exactly the
+// concurrency the paper's per-group queues were designed for. Contention
+// between tenants arises naturally from the substrates: the single NIC
+// firmware processor serializes handlers of co-resident groups, and
+// netsim's link occupancy charges worms that share trunks.
+//
+// On top, workload.go generates open- and closed-loop streams of
+// collective operations from N tenants and reports throughput of virtual
+// time, per-tenant latency percentiles and fairness.
+package comm
+
+import (
+	"fmt"
+
+	"nicbarrier/internal/barrier"
+	"nicbarrier/internal/core"
+	"nicbarrier/internal/elan"
+	"nicbarrier/internal/myrinet"
+	"nicbarrier/internal/sim"
+)
+
+// OpKind selects the collective operation a group executes.
+type OpKind int
+
+// Collective operation kinds.
+const (
+	OpBarrier OpKind = iota
+	OpBroadcast
+	OpAllreduce
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpBarrier:
+		return "barrier"
+	case OpBroadcast:
+		return "broadcast"
+	case OpAllreduce:
+		return "allreduce"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// session is the slice of the backend sessions the communicator drives:
+// launch without running the engine, poll completion, read per-iteration
+// completion times.
+type session interface {
+	Launch(iters int)
+	Done() bool
+	DoneAt() []sim.Time
+	Run(iters int) []sim.Time
+	Reset()
+}
+
+// Cluster multiplexes process groups over one simulated cluster. Exactly
+// one backend is set. A Cluster (like everything below the engine) is
+// single-threaded; independent Clusters on independent engines may run
+// from parallel goroutines.
+type Cluster struct {
+	Eng *sim.Engine
+	My  *myrinet.Cluster
+	El  *elan.Cluster
+
+	nextGID core.GroupID
+	groups  []*Group
+}
+
+// OverMyrinet builds a communicator layer over a Myrinet cluster.
+func OverMyrinet(cl *myrinet.Cluster) *Cluster {
+	return &Cluster{Eng: cl.Eng, My: cl, nextGID: myrinet.SessionGroupID}
+}
+
+// OverElan builds a communicator layer over a Quadrics cluster.
+func OverElan(cl *elan.Cluster) *Cluster {
+	return &Cluster{Eng: cl.Eng, El: cl, nextGID: elan.SessionGroupID}
+}
+
+// Nodes reports the underlying cluster size.
+func (c *Cluster) Nodes() int {
+	if c.My != nil {
+		return len(c.My.Nodes)
+	}
+	return len(c.El.Nodes)
+}
+
+// Groups returns every group created so far, in creation order.
+func (c *Cluster) Groups() []*Group { return c.groups }
+
+// GroupConfig describes one communicator to create.
+type GroupConfig struct {
+	// Members lists the participating node IDs in rank order; they must
+	// be distinct and at least 2 (the substrates do not model self-sends).
+	Members []int
+	// Kind is the collective the group will run. Broadcast and allreduce
+	// ride the Myrinet collective protocol; on Quadrics only barriers are
+	// modeled (the paper's chained-RDMA list is a barrier structure).
+	Kind OpKind
+	// Algorithm and Options pick the schedule (barrier/allreduce kinds).
+	Algorithm barrier.Algorithm
+	Options   barrier.Options
+	// MyrinetScheme selects the barrier scheme on Myrinet backends
+	// (host, direct, collective); broadcast and allreduce force the
+	// collective protocol. Ignored on Quadrics.
+	MyrinetScheme myrinet.Scheme
+	// ElanScheme selects the Quadrics implementation (chained, gsync,
+	// hw). Ignored on Myrinet.
+	ElanScheme elan.Scheme
+	// Root and Degree shape broadcast trees (Degree 0 means 4).
+	Root, Degree int
+	// Reduce and Contrib configure allreduce groups: the combining
+	// operator and each rank's per-iteration contribution.
+	Reduce  core.ReduceOp
+	Contrib func(rank, iter int) int64
+}
+
+// Group is one communicator: a subset of nodes with its own NIC
+// group-queue slot, bit-vector records and sequence space. Groups on one
+// Cluster run concurrently; each is driven either exclusively (Run) or
+// as part of a workload (Launch + the cluster-level drive loop).
+type Group struct {
+	c       *Cluster
+	ID      core.GroupID
+	Members []int
+	Kind    OpKind
+
+	sess      session
+	launched  bool
+	setNextAt func(func(rank, next int) sim.Time)
+	setOnDone func(func(iter int, at sim.Time))
+
+	// results exposes allreduce outcomes (nil otherwise).
+	results func() [][]int64
+
+	// pace shapes the group's operation stream during workloads.
+	pace pacer
+}
+
+// NewGroup creates a communicator over the given members, installing its
+// group-queue entry on every member NIC. It fails cleanly — with the
+// cluster left untouched — when a member NIC's slots are exhausted, a
+// member list is invalid, or the op/operator combination cannot be exact.
+func (c *Cluster) NewGroup(gc GroupConfig) (*Group, error) {
+	if len(gc.Members) < 1 {
+		return nil, fmt.Errorf("comm: empty group")
+	}
+	gid := c.nextGID
+	g := &Group{c: c, ID: gid, Members: append([]int(nil), gc.Members...), Kind: gc.Kind}
+	switch {
+	case c.My != nil:
+		if err := g.bindMyrinet(gc, gid); err != nil {
+			return nil, err
+		}
+	case c.El != nil:
+		if err := g.bindElan(gc, gid); err != nil {
+			return nil, err
+		}
+	default:
+		panic("comm: cluster without backend")
+	}
+	c.nextGID++
+	c.groups = append(c.groups, g)
+	return g, nil
+}
+
+func (g *Group) bindMyrinet(gc GroupConfig, gid core.GroupID) error {
+	cl := g.c.My
+	switch gc.Kind {
+	case OpBarrier:
+		s, err := myrinet.NewSessionWithID(cl, gid, gc.Members, gc.MyrinetScheme, gc.Algorithm, gc.Options)
+		if err != nil {
+			return err
+		}
+		g.adoptMyrinet(s)
+	case OpBroadcast:
+		degree := gc.Degree
+		if degree == 0 {
+			degree = 4
+		}
+		if gc.Root < 0 || gc.Root >= len(gc.Members) {
+			return fmt.Errorf("comm: broadcast root %d outside group of %d", gc.Root, len(gc.Members))
+		}
+		s, err := myrinet.NewBroadcastSessionWithID(cl, gid, gc.Members, gc.Root, degree)
+		if err != nil {
+			return err
+		}
+		g.adoptMyrinet(s)
+	case OpAllreduce:
+		contrib := gc.Contrib
+		if contrib == nil {
+			return fmt.Errorf("comm: allreduce group without Contrib")
+		}
+		s, err := myrinet.NewAllreduceSessionWithID(cl, gid, gc.Members, gc.Algorithm, gc.Options, gc.Reduce, contrib)
+		if err != nil {
+			return err
+		}
+		g.adoptMyrinet(s)
+	default:
+		return fmt.Errorf("comm: unknown op kind %d", int(gc.Kind))
+	}
+	return nil
+}
+
+func (g *Group) adoptMyrinet(s *myrinet.Session) {
+	g.sess = s
+	g.setNextAt = func(fn func(rank, next int) sim.Time) { s.NextAt = fn }
+	g.setOnDone = func(fn func(iter int, at sim.Time)) { s.OnIterDone = fn }
+	g.results = s.Results
+}
+
+func (g *Group) bindElan(gc GroupConfig, gid core.GroupID) error {
+	if gc.Kind != OpBarrier {
+		return fmt.Errorf("comm: %v is modeled on Myrinet only (Quadrics groups run barriers)", gc.Kind)
+	}
+	s, err := elan.NewSessionWithID(g.c.El, gid, gc.Members, gc.ElanScheme, gc.Algorithm, gc.Options)
+	if err != nil {
+		return err
+	}
+	g.sess = s
+	g.setNextAt = func(fn func(rank, next int) sim.Time) { s.NextAt = fn }
+	g.setOnDone = func(fn func(iter int, at sim.Time)) { s.OnIterDone = fn }
+	return nil
+}
+
+// Size reports the number of ranks in the group.
+func (g *Group) Size() int { return len(g.Members) }
+
+// Run executes iters consecutive operations exclusively: the engine is
+// driven until the group finishes. It returns per-iteration completion
+// times and panics if the simulation deadlocks — identical semantics
+// (and identical virtual-time behavior) to the one-shot measurement
+// sessions it wraps.
+func (g *Group) Run(iters int) []sim.Time {
+	g.launched = true
+	return g.sess.Run(iters)
+}
+
+// Launch posts the group's first operation without driving the engine;
+// the caller multiplexes several launched groups with DriveAll.
+func (g *Group) Launch(iters int) {
+	g.launched = true
+	g.sess.Launch(iters)
+}
+
+// Done reports whether every launched operation completed.
+func (g *Group) Done() bool { return g.sess.Done() }
+
+// DoneAt returns per-iteration completion times (valid once Done).
+func (g *Group) DoneAt() []sim.Time { return g.sess.DoneAt() }
+
+// Reset readies a finished group for another Run or Launch: the NIC
+// group-queue entry stays installed and its sequence space continues,
+// only the run bookkeeping clears (DriveAll no longer waits on the
+// group until it launches again).
+func (g *Group) Reset() {
+	g.sess.Reset()
+	g.launched = false
+}
+
+// Results returns allreduce outcomes per iteration and rank; nil for
+// other group kinds.
+func (g *Group) Results() [][]int64 {
+	if g.results == nil {
+		return nil
+	}
+	return g.results()
+}
+
+// DriveAll runs the engine until every *launched* group completes,
+// panicking with a per-group diagnostic if the simulation deadlocks
+// (e.g. a fault plan crashed a member for good). Groups that were
+// created but never launched — e.g. the survivors of a workload setup
+// that failed partway — are not waited on.
+func (c *Cluster) DriveAll() {
+	done := func() bool {
+		for _, g := range c.groups {
+			if g.launched && !g.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	if !c.Eng.RunCondition(done) {
+		var stuck []core.GroupID
+		for _, g := range c.groups {
+			if g.launched && !g.Done() {
+				stuck = append(stuck, g.ID)
+			}
+		}
+		panic(fmt.Sprintf("comm: workload deadlocked; groups %v incomplete", stuck))
+	}
+}

@@ -1,0 +1,387 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nicbarrier/internal/barrier"
+	"nicbarrier/internal/core"
+	"nicbarrier/internal/myrinet"
+	"nicbarrier/internal/netsim"
+	"nicbarrier/internal/sim"
+)
+
+// ArrivalKind selects how a tenant's operation stream is paced.
+type ArrivalKind int
+
+// Arrival processes.
+const (
+	// ClosedLoop issues the next operation when the previous one
+	// completes, after an exponential think time of mean MeanGapUS
+	// (0: back-to-back, the paper's measurement loop).
+	ClosedLoop ArrivalKind = iota
+	// OpenLoop issues operations on a Poisson process of mean
+	// interarrival MeanGapUS, independent of completions; when the
+	// system falls behind, queueing delay shows up in the latency.
+	OpenLoop
+)
+
+// String implements fmt.Stringer.
+func (k ArrivalKind) String() string {
+	switch k {
+	case ClosedLoop:
+		return "closed-loop"
+	case OpenLoop:
+		return "open-loop"
+	default:
+		return fmt.Sprintf("ArrivalKind(%d)", int(k))
+	}
+}
+
+// ArrivalSpec parameterizes one tenant's arrival process.
+type ArrivalSpec struct {
+	Kind ArrivalKind
+	// MeanGapUS is the mean think time (closed loop) or mean
+	// interarrival gap (open loop), simulated microseconds.
+	MeanGapUS float64
+}
+
+// OpMix weights how tenants are assigned operation kinds. Zero value
+// means all-barrier.
+type OpMix struct {
+	Barrier, Broadcast, Allreduce int
+}
+
+// WorkloadSpec describes a multi-tenant collective workload.
+type WorkloadSpec struct {
+	// Tenants is the number of concurrent groups; OpsPerTenant the
+	// operations each issues.
+	Tenants, OpsPerTenant int
+	// GroupSizeMin/Max bound each tenant's group size, drawn uniformly.
+	// Both zero partitions the cluster evenly (size = nodes/tenants).
+	GroupSizeMin, GroupSizeMax int
+	// Overlap places tenants on random (possibly shared) nodes; the
+	// default packs tenants into disjoint blocks of a shuffled node list
+	// and fails when the cluster cannot fit them.
+	Overlap bool
+	// Mix assigns operation kinds across tenants by weight.
+	Mix OpMix
+	// Arrival paces every tenant's stream.
+	Arrival ArrivalSpec
+	// Algorithm picks the schedule for barrier/allreduce tenants
+	// (zero value: dissemination, as in the paper).
+	Algorithm barrier.Algorithm
+	// Seed drives membership, mix assignment and arrival draws.
+	Seed uint64
+}
+
+func (s WorkloadSpec) validate(nodes int) error {
+	if s.Tenants < 1 {
+		return fmt.Errorf("comm: Tenants = %d", s.Tenants)
+	}
+	if s.OpsPerTenant < 1 {
+		return fmt.Errorf("comm: OpsPerTenant = %d", s.OpsPerTenant)
+	}
+	if s.GroupSizeMin < 0 || s.GroupSizeMax < s.GroupSizeMin {
+		return fmt.Errorf("comm: group size bounds [%d, %d]", s.GroupSizeMin, s.GroupSizeMax)
+	}
+	if s.GroupSizeMin == 0 && s.GroupSizeMax == 0 {
+		if nodes/s.Tenants < 2 {
+			return fmt.Errorf("comm: %d tenants cannot partition %d nodes into groups of >= 2", s.Tenants, nodes)
+		}
+	} else if s.GroupSizeMin < 2 {
+		return fmt.Errorf("comm: group size minimum %d < 2", s.GroupSizeMin)
+	} else if s.GroupSizeMax > nodes {
+		return fmt.Errorf("comm: group size maximum %d > %d nodes", s.GroupSizeMax, nodes)
+	}
+	if s.Mix.Barrier < 0 || s.Mix.Broadcast < 0 || s.Mix.Allreduce < 0 {
+		return fmt.Errorf("comm: negative op-mix weight")
+	}
+	if s.Arrival.MeanGapUS < 0 {
+		return fmt.Errorf("comm: MeanGapUS = %v", s.Arrival.MeanGapUS)
+	}
+	if s.Arrival.Kind == OpenLoop && s.Arrival.MeanGapUS <= 0 {
+		return fmt.Errorf("comm: open-loop arrivals need MeanGapUS > 0")
+	}
+	return nil
+}
+
+// pacer shapes one tenant's operation stream through the session NextAt
+// hook. Its state is precomputed at workload setup so that the per-op
+// dispatch — one nextAt call per issued operation — performs no
+// allocation and no RNG work in steady state.
+type pacer struct {
+	eng *sim.Engine
+	// arrivals holds the open-loop arrival instants; nil for closed loop.
+	arrivals []sim.Time
+	// think holds the closed-loop per-op think times; nil when both this
+	// and arrivals are unset (back-to-back chaining).
+	think []sim.Duration
+}
+
+// nextAt is the session gate: the earliest virtual time iteration next
+// may post on this rank. Allocation-free.
+func (p *pacer) nextAt(rank, next int) sim.Time {
+	if p.arrivals != nil {
+		return p.arrivals[next]
+	}
+	if p.think == nil {
+		return 0
+	}
+	return p.eng.Now().Add(p.think[next])
+}
+
+// expGap draws an exponential gap with the given mean (microseconds).
+func expGap(rng *sim.RNG, meanUS float64) sim.Duration {
+	return sim.Micros(-meanUS * math.Log1p(-rng.Float64()))
+}
+
+// TenantResult summarizes one tenant's stream.
+type TenantResult struct {
+	Tenant  int
+	GroupID core.GroupID
+	Size    int
+	Kind    OpKind
+	Ops     int
+	// Latency statistics over per-op latencies (eligibility to global
+	// completion), simulated microseconds.
+	MeanUS, P50US, P95US, P99US, MaxUS float64
+	// OpsPerSec is the tenant's throughput over virtual time.
+	OpsPerSec float64
+}
+
+// WorkloadResult aggregates a full multi-tenant run.
+type WorkloadResult struct {
+	Tenants  []TenantResult
+	TotalOps int
+	// MakespanUS is the virtual time of the last completion.
+	MakespanUS float64
+	// AggOpsPerSec is TotalOps over the makespan, in operations per
+	// simulated second.
+	AggOpsPerSec float64
+	// Fairness is Jain's index over per-tenant throughputs: 1.0 means
+	// perfectly even service, 1/N means one tenant got everything.
+	Fairness float64
+	// Wire accounting over the whole run.
+	Sent, Dropped uint64
+}
+
+// RunWorkload generates spec's tenants over the cluster, runs every
+// stream to completion concurrently, and reports throughput, latency and
+// fairness. All randomness derives from spec.Seed; runs are
+// bit-deterministic. Allreduce tenants' results are verified against the
+// reference reduction, so cross-tenant contamination of NIC state cannot
+// pass silently.
+func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
+	nodes := c.Nodes()
+	if err := spec.validate(nodes); err != nil {
+		return WorkloadResult{}, err
+	}
+	rng := sim.NewRNG(spec.Seed ^ 0x7e4a47)
+
+	// Disjoint placement slices one shuffled node list; overlapping
+	// placement draws a fresh permutation per tenant.
+	shuffled := rng.Perm(nodes)
+	cursor := 0
+	mixTotal := spec.Mix.Barrier + spec.Mix.Broadcast + spec.Mix.Allreduce
+
+	groups := make([]*Group, spec.Tenants)
+	eligible := make([][]sim.Time, spec.Tenants) // per tenant, per op
+	for t := 0; t < spec.Tenants; t++ {
+		size := nodes / spec.Tenants
+		if spec.GroupSizeMax > 0 {
+			size = spec.GroupSizeMin + rng.Intn(spec.GroupSizeMax-spec.GroupSizeMin+1)
+		}
+		var members []int
+		if spec.Overlap {
+			members = rng.Perm(nodes)[:size]
+		} else {
+			if cursor+size > nodes {
+				return WorkloadResult{}, fmt.Errorf(
+					"comm: tenant %d needs %d nodes but only %d of %d remain (use Overlap or shrink groups)",
+					t, size, nodes-cursor, nodes)
+			}
+			members = shuffled[cursor : cursor+size]
+			cursor += size
+		}
+		kind := OpBarrier
+		if mixTotal > 0 {
+			switch r := rng.Intn(mixTotal); {
+			case r < spec.Mix.Barrier:
+				kind = OpBarrier
+			case r < spec.Mix.Barrier+spec.Mix.Broadcast:
+				kind = OpBroadcast
+			default:
+				kind = OpAllreduce
+			}
+		}
+		if c.El != nil {
+			kind = OpBarrier // Quadrics groups run barriers only
+		}
+		gc := GroupConfig{
+			Members:       members,
+			Kind:          kind,
+			Algorithm:     spec.Algorithm,
+			MyrinetScheme: myrinet.SchemeCollective,
+		}
+		if kind == OpAllreduce {
+			// Max is exact for every group size and algorithm, so mixed
+			// workloads never trip the sum/dissemination exactness rule.
+			gc.Reduce = core.ReduceMax
+			gc.Contrib = allreduceContrib
+		}
+		g, err := c.NewGroup(gc)
+		if err != nil {
+			return WorkloadResult{}, fmt.Errorf("comm: tenant %d: %w", t, err)
+		}
+		groups[t] = g
+
+		// Precompute the arrival process so steady-state dispatch is
+		// allocation- and RNG-free.
+		g.pace.eng = c.Eng
+		elig := make([]sim.Time, spec.OpsPerTenant)
+		switch spec.Arrival.Kind {
+		case OpenLoop:
+			arr := make([]sim.Time, spec.OpsPerTenant)
+			var at sim.Time
+			for k := range arr {
+				at = at.Add(expGap(rng, spec.Arrival.MeanGapUS))
+				arr[k] = at
+				elig[k] = at
+			}
+			g.pace.arrivals = arr
+		case ClosedLoop:
+			if spec.Arrival.MeanGapUS > 0 {
+				think := make([]sim.Duration, spec.OpsPerTenant)
+				for k := range think {
+					think[k] = expGap(rng, spec.Arrival.MeanGapUS)
+				}
+				g.pace.think = think
+			}
+		}
+		eligible[t] = elig
+		if g.pace.arrivals != nil || g.pace.think != nil {
+			g.setNextAt(g.pace.nextAt)
+		}
+	}
+
+	for _, g := range groups {
+		g.Launch(spec.OpsPerTenant)
+	}
+	c.DriveAll()
+	c.Eng.Run() // drain trailing traffic so counters are complete
+
+	// Closed-loop eligibility depends on completions, so it is derived
+	// after the run: op k became eligible when op k-1 completed plus the
+	// think gap (op 0 after the initial think from t=0).
+	if spec.Arrival.Kind == ClosedLoop {
+		for t, g := range groups {
+			done := g.DoneAt()
+			for k := range eligible[t] {
+				var base sim.Time
+				if k > 0 {
+					base = done[k-1]
+				}
+				if g.pace.think != nil {
+					base = base.Add(g.pace.think[k])
+				}
+				eligible[t][k] = base
+			}
+		}
+	}
+
+	res := WorkloadResult{TotalOps: spec.Tenants * spec.OpsPerTenant}
+	var makespan sim.Time
+	var sumTput, sumTputSq float64
+	lat := make([]float64, spec.OpsPerTenant)
+	for t, g := range groups {
+		if err := verifyAllreduce(g); err != nil {
+			return WorkloadResult{}, err
+		}
+		done := g.DoneAt()
+		last := done[len(done)-1]
+		if last > makespan {
+			makespan = last
+		}
+		var sum, maxL float64
+		for k, at := range done {
+			l := at.Sub(eligible[t][k]).Micros()
+			lat[k] = l
+			sum += l
+			if l > maxL {
+				maxL = l
+			}
+		}
+		sort.Float64s(lat)
+		tput := float64(len(done)) / (last.Micros() / 1e6)
+		res.Tenants = append(res.Tenants, TenantResult{
+			Tenant:    t,
+			GroupID:   g.ID,
+			Size:      g.Size(),
+			Kind:      g.Kind,
+			Ops:       len(done),
+			MeanUS:    sum / float64(len(done)),
+			P50US:     percentile(lat, 0.50),
+			P95US:     percentile(lat, 0.95),
+			P99US:     percentile(lat, 0.99),
+			MaxUS:     maxL,
+			OpsPerSec: tput,
+		})
+		sumTput += tput
+		sumTputSq += tput * tput
+	}
+	res.MakespanUS = makespan.Micros()
+	res.AggOpsPerSec = float64(res.TotalOps) / (res.MakespanUS / 1e6)
+	res.Fairness = sumTput * sumTput / (float64(spec.Tenants) * sumTputSq)
+	var net netsim.Counters
+	if c.My != nil {
+		net = c.My.Net.Counters()
+	} else {
+		net = c.El.Net.Counters()
+	}
+	res.Sent, res.Dropped = net.Sent, net.Dropped
+	return res, nil
+}
+
+// allreduceContrib is the deterministic per-rank contribution workload
+// allreduce tenants feed in; verifyAllreduce recomputes it.
+func allreduceContrib(rank, iter int) int64 { return int64(rank*31 + iter*7 - 11) }
+
+// verifyAllreduce checks every iteration's result on every rank against
+// the reference reduction — the cheap invariant that proves concurrent
+// groups did not contaminate each other's NIC state.
+func verifyAllreduce(g *Group) error {
+	rows := g.Results()
+	if rows == nil {
+		return nil
+	}
+	for iter, row := range rows {
+		want := allreduceContrib(0, iter)
+		for r := 1; r < g.Size(); r++ {
+			want = core.ReduceMax.Combine(want, allreduceContrib(r, iter))
+		}
+		for rank, got := range row {
+			if got != want {
+				return fmt.Errorf("comm: group %d allreduce iter %d rank %d: got %d, want %d",
+					g.ID, iter, rank, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// percentile returns the nearest-rank percentile of sorted values.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -97,8 +97,34 @@ type Node struct {
 // Host models the host CPU side of Elanlib.
 type Host struct {
 	proc
-	node    *Node
+	node *Node
+	// OnEvent receives every host event not claimed by a group binding.
 	OnEvent func(Event)
+	// groupHandlers routes group-addressed events (chain completions,
+	// gsync remote events) to the session driving that group, so
+	// concurrent communicators can share one node.
+	groupHandlers map[int]func(Event)
+}
+
+// Bind routes this node's events for one group ID to fn; duplicate
+// bindings panic (two drivers for one group is a programming error).
+func (h *Host) Bind(groupID int, fn func(Event)) {
+	if fn == nil {
+		panic("elan: nil group event handler")
+	}
+	if h.groupHandlers == nil {
+		h.groupHandlers = make(map[int]func(Event))
+	}
+	if _, dup := h.groupHandlers[groupID]; dup {
+		panic(fmt.Sprintf("elan: node %d: group %d already bound", h.node.ID, groupID))
+	}
+	h.groupHandlers[groupID] = fn
+}
+
+// bound reports whether a handler is already bound for the group.
+func (h *Host) bound(groupID int) bool {
+	_, ok := h.groupHandlers[groupID]
+	return ok
 }
 
 // NIC is the Elan3 model.
@@ -149,6 +175,12 @@ func NewNode(eng *sim.Engine, id int, prof *hwprofile.QuadricsProfile, net *nets
 
 func (h *Host) deliver(ev Event) {
 	h.exec(h.node.Prof.Host.RecvPollCycles, 0, func() {
+		if ev.Kind == EvBarrierDone || ev.Kind == EvRemote {
+			if fn := h.groupHandlers[ev.Group]; fn != nil {
+				fn(ev)
+				return
+			}
+		}
 		if h.OnEvent != nil {
 			h.OnEvent(ev)
 		}
@@ -157,12 +189,32 @@ func (h *Host) deliver(ev Event) {
 
 // ArmChain installs the chained-descriptor barrier for a group. The host
 // sets up the descriptor list once from user level; afterwards each
-// TriggerChain doorbell runs one barrier entirely on the NICs.
+// TriggerChain doorbell runs one barrier entirely on the NICs. It panics
+// on failure; multi-group callers use TryArmChain.
 func (n *NIC) ArmChain(g *core.Group, state *core.OpState) {
+	if err := n.TryArmChain(g, state); err != nil {
+		panic(fmt.Sprintf("elan: %v", err))
+	}
+}
+
+// TryArmChain is ArmChain with clean errors: arming fails when the
+// group's ID is already armed or the card's descriptor-list slots are
+// exhausted.
+func (n *NIC) TryArmChain(g *core.Group, state *core.OpState) error {
 	if _, dup := n.chains[g.ID]; dup {
-		panic(fmt.Sprintf("elan: chain for group %d already armed on node %d", g.ID, n.node.ID))
+		return fmt.Errorf("elan: chain for group %d already armed on node %d", g.ID, n.node.ID)
+	}
+	if slots := n.node.Prof.NIC.ChainSlots; len(n.chains) >= slots {
+		return fmt.Errorf("elan: node %d: chain slots exhausted (%d of %d in use)",
+			n.node.ID, len(n.chains), slots)
 	}
 	n.chains[g.ID] = &chainOp{group: g, state: state}
+	return nil
+}
+
+// ChainSlotsFree reports how many chained-descriptor slots remain.
+func (n *NIC) ChainSlotsFree() int {
+	return n.node.Prof.NIC.ChainSlots - len(n.chains)
 }
 
 // TriggerChain is the host-side barrier entry: post the doorbell that
@@ -210,6 +262,7 @@ func (n *NIC) fireRDMAs(op *chainOp, seq int, ranks []int) {
 				Dst:     dst,
 				Size:    n.node.Prof.BarrierBytes,
 				Kind:    "rdma-event",
+				Group:   int(op.group.ID),
 				Payload: payload,
 			})
 			n.Stats.RDMAsSent++
@@ -296,6 +349,7 @@ func (h *Host) SendRemoteEvent(dstNode int, groupID, seq int) {
 					Dst:     dstNode,
 					Size:    h.node.Prof.BarrierBytes,
 					Kind:    "rdma-host",
+					Group:   groupID,
 					Payload: payload,
 				})
 				n.Stats.RDMAsSent++

@@ -37,12 +37,16 @@ func (s Scheme) String() string {
 	}
 }
 
-// SessionGroupID is the group ID sessions install.
+// SessionGroupID is the group ID single-session constructors install.
 const SessionGroupID = 1
 
 // Session runs consecutive barriers over a subset of an Elan cluster.
+// Chained and gsync sessions carry their own group ID and can coexist
+// on one cluster; the hardware barrier is a cluster-singleton network
+// transaction and supports one session at a time.
 type Session struct {
 	cl      *Cluster
+	gid     core.GroupID
 	nodeIDs []int
 	scheme  Scheme
 
@@ -50,6 +54,15 @@ type Session struct {
 	iters   int
 	doneAt  []sim.Time
 	pending []int
+	// base is the absolute operation sequence this run starts at (see
+	// the Myrinet session's Reset).
+	base int
+
+	// NextAt and OnIterDone mirror the Myrinet session's workload hooks:
+	// NextAt gates when a member may post iteration `next`; OnIterDone
+	// observes each iteration's global completion.
+	NextAt     func(rank, next int) sim.Time
+	OnIterDone func(iter int, at sim.Time)
 }
 
 type member struct {
@@ -61,53 +74,102 @@ type member struct {
 	hostOp *core.OpState
 	// hwSeq tracks hardware-barrier rounds for this member.
 	hwSeq int
+	// deferSeq is the iteration a NextAt-deferred start posts on Fire.
+	deferSeq int
 }
 
-// NewSession prepares a barrier session over nodeIDs (rank order; the
-// harness passes a random permutation). alg/opts select the schedule for
-// SchemeChained; SchemeGsync always uses the gather-broadcast tree (that
-// is what elan_gsync is) and SchemeHW uses none.
+// Fire implements sim.Event (allocation-free deferred starts).
+func (m *member) Fire() { m.start(m.deferSeq) }
+
+// NewSession prepares a barrier session on group SessionGroupID over
+// nodeIDs (rank order; the harness passes a random permutation).
+// alg/opts select the schedule for SchemeChained; SchemeGsync always
+// uses the gather-broadcast tree (that is what elan_gsync is) and
+// SchemeHW uses none. It panics on installation failure.
 func NewSession(cl *Cluster, nodeIDs []int, scheme Scheme, alg barrier.Algorithm, opts barrier.Options) *Session {
-	if len(nodeIDs) == 0 {
-		panic("elan: empty session")
-	}
-	s := &Session{cl: cl, nodeIDs: append([]int(nil), nodeIDs...), scheme: scheme}
-	if scheme == SchemeHW {
-		cl.hw.configure(s.nodeIDs)
-	}
-	for rank, id := range s.nodeIDs {
-		if id < 0 || id >= len(cl.Nodes) {
-			panic(fmt.Sprintf("elan: node %d outside cluster of %d", id, len(cl.Nodes)))
-		}
-		m := &member{
-			s:     s,
-			rank:  rank,
-			node:  cl.Nodes[id],
-			group: core.NewGroup(SessionGroupID, s.nodeIDs, rank),
-		}
-		switch scheme {
-		case SchemeChained:
-			sched := barrier.New(alg, len(nodeIDs), rank, opts)
-			m.node.NIC.ArmChain(m.group, core.NewOpState(sched))
-		case SchemeGsync:
-			sched := barrier.New(barrier.GatherBroadcast, len(nodeIDs), rank, opts)
-			m.hostOp = core.NewOpState(sched)
-		case SchemeHW:
-			// No schedule: one network transaction synchronizes all.
-		default:
-			panic(fmt.Sprintf("elan: unknown scheme %d", int(scheme)))
-		}
-		m.node.Host.OnEvent = m.onEvent
-		s.members = append(s.members, m)
+	s, err := NewSessionWithID(cl, SessionGroupID, nodeIDs, scheme, alg, opts)
+	if err != nil {
+		panic(fmt.Sprintf("elan: %v", err))
 	}
 	return s
 }
 
-// Run executes iters consecutive barriers, returning the completion time
-// of each iteration.
-func (s *Session) Run(iters int) []sim.Time {
+// NewSessionWithID prepares a barrier session on an explicit group ID,
+// failing cleanly when a member card's chain slots are exhausted or the
+// ID is already armed on a member.
+func NewSessionWithID(cl *Cluster, gid core.GroupID, nodeIDs []int, scheme Scheme,
+	alg barrier.Algorithm, opts barrier.Options) (*Session, error) {
+	if len(nodeIDs) == 0 {
+		panic("elan: empty session")
+	}
+	// Pre-validate the whole membership before touching any card or host
+	// state, so failed constructions leave the cluster untouched.
+	for _, id := range nodeIDs {
+		if id < 0 || id >= len(cl.Nodes) {
+			panic(fmt.Sprintf("elan: node %d outside cluster of %d", id, len(cl.Nodes)))
+		}
+		node := cl.Nodes[id]
+		switch scheme {
+		case SchemeChained:
+			if node.NIC.ChainSlotsFree() <= 0 {
+				return nil, fmt.Errorf("elan: node %d: chain slots exhausted (%d in use)",
+					id, node.Prof.NIC.ChainSlots)
+			}
+			fallthrough
+		case SchemeGsync:
+			if node.Host.bound(int(gid)) {
+				return nil, fmt.Errorf("elan: node %d: group %d already bound", id, gid)
+			}
+			if _, dup := node.NIC.chains[gid]; dup {
+				return nil, fmt.Errorf("elan: chain for group %d already armed on node %d", gid, id)
+			}
+		}
+	}
+	s := &Session{cl: cl, gid: gid, nodeIDs: append([]int(nil), nodeIDs...), scheme: scheme}
+	if scheme == SchemeHW {
+		cl.hw.configure(s.nodeIDs)
+	}
+	for rank := range s.nodeIDs {
+		id := s.nodeIDs[rank]
+		m := &member{
+			s:     s,
+			rank:  rank,
+			node:  cl.Nodes[id],
+			group: core.NewGroup(gid, s.nodeIDs, rank),
+		}
+		switch scheme {
+		case SchemeChained:
+			sched := barrier.New(alg, len(nodeIDs), rank, opts)
+			if err := m.node.NIC.TryArmChain(m.group, core.NewOpState(sched)); err != nil {
+				return nil, err
+			}
+			m.node.Host.Bind(int(gid), m.onEvent)
+		case SchemeGsync:
+			sched := barrier.New(barrier.GatherBroadcast, len(nodeIDs), rank, opts)
+			m.hostOp = core.NewOpState(sched)
+			m.node.Host.Bind(int(gid), m.onEvent)
+		case SchemeHW:
+			// No schedule: one network transaction synchronizes all. HW
+			// completions carry no group, so they flow through the plain
+			// event hook — one HW session per cluster, like the hardware.
+			m.node.Host.OnEvent = m.onEvent
+		default:
+			panic(fmt.Sprintf("elan: unknown scheme %d", int(scheme)))
+		}
+		s.members = append(s.members, m)
+	}
+	return s, nil
+}
+
+// Launch prepares iters consecutive barriers and posts iteration 0 on
+// every member without driving the engine (see the Myrinet session for
+// the multiplexed-run pattern).
+func (s *Session) Launch(iters int) {
 	if iters < 1 {
 		panic(fmt.Sprintf("elan: iterations %d", iters))
+	}
+	if s.iters != 0 {
+		panic("elan: session launched twice (Reset between runs)")
 	}
 	s.iters = iters
 	s.doneAt = make([]sim.Time, iters)
@@ -116,10 +178,50 @@ func (s *Session) Run(iters int) []sim.Time {
 		s.pending[i] = len(s.members)
 	}
 	for _, m := range s.members {
-		m.start(0)
+		s.post(m, s.base)
 	}
-	finished := func() bool { return s.pending[iters-1] == 0 }
-	if !s.cl.Eng.RunCondition(finished) {
+}
+
+// Reset readies a finished session for another Launch; the chains stay
+// armed and their sequence space continues.
+func (s *Session) Reset() {
+	if s.iters > 0 && !s.Done() {
+		panic("elan: Reset mid-run")
+	}
+	s.base += s.iters
+	s.iters = 0
+	s.doneAt, s.pending = nil, nil
+}
+
+// post starts absolute operation seq on member m, honoring the NextAt
+// gate (which sees run-local iteration numbers).
+func (s *Session) post(m *member, seq int) {
+	if s.NextAt != nil {
+		if at := s.NextAt(m.rank, seq-s.base); at > s.cl.Eng.Now() {
+			m.deferSeq = seq
+			s.cl.Eng.ScheduleEvent(at, m)
+			return
+		}
+	}
+	m.start(seq)
+}
+
+// Done reports whether every launched iteration completed everywhere.
+func (s *Session) Done() bool {
+	return s.iters > 0 && s.pending[s.iters-1] == 0
+}
+
+// DoneAt returns the completion time per iteration (valid once Done).
+func (s *Session) DoneAt() []sim.Time { return s.doneAt }
+
+// Size reports the number of participating ranks.
+func (s *Session) Size() int { return len(s.members) }
+
+// Run executes iters consecutive barriers, returning the completion time
+// of each iteration.
+func (s *Session) Run(iters int) []sim.Time {
+	s.Launch(iters)
+	if !s.cl.Eng.RunCondition(s.Done) {
 		panic(fmt.Sprintf("elan: %s barrier deadlocked (%d nodes, pending %v)",
 			s.scheme, len(s.members), s.pending))
 	}
@@ -166,26 +268,31 @@ func (s *Session) RunSkewed(skew []sim.Duration) sim.Duration {
 	return s.doneAt[0].Sub(last)
 }
 
+// complete records one member's completion of absolute operation seq.
 func (s *Session) complete(rank, seq int) {
-	if seq >= s.iters {
-		panic(fmt.Sprintf("elan: completion for iteration %d beyond %d", seq, s.iters))
+	rel := seq - s.base
+	if rel >= s.iters {
+		panic(fmt.Sprintf("elan: completion for iteration %d beyond %d", rel, s.iters))
 	}
-	s.pending[seq]--
-	if s.pending[seq] < 0 {
-		panic(fmt.Sprintf("elan: double completion of iteration %d by rank %d", seq, rank))
+	s.pending[rel]--
+	if s.pending[rel] < 0 {
+		panic(fmt.Sprintf("elan: double completion of iteration %d by rank %d", rel, rank))
 	}
-	if s.pending[seq] == 0 {
-		s.doneAt[seq] = s.cl.Eng.Now()
+	if s.pending[rel] == 0 {
+		s.doneAt[rel] = s.cl.Eng.Now()
+		if s.OnIterDone != nil {
+			s.OnIterDone(rel, s.doneAt[rel])
+		}
 	}
-	if next := seq + 1; next < s.iters {
-		s.members[rank].start(next)
+	if next := rel + 1; next < s.iters {
+		s.post(s.members[rank], seq+1)
 	}
 }
 
 func (m *member) start(seq int) {
 	switch m.s.scheme {
 	case SchemeChained:
-		m.node.Host.TriggerChain(SessionGroupID)
+		m.node.Host.TriggerChain(int(m.s.gid))
 	case SchemeHW:
 		m.node.Host.PostHWBarrier()
 	case SchemeGsync:
@@ -202,7 +309,7 @@ func (m *member) start(seq int) {
 
 func (m *member) gsyncSend(seq int, ranks []int) {
 	for _, r := range ranks {
-		m.node.Host.SendRemoteEvent(m.group.NodeOf(r), SessionGroupID, seq)
+		m.node.Host.SendRemoteEvent(m.group.NodeOf(r), int(m.s.gid), seq)
 	}
 }
 

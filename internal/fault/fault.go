@@ -45,6 +45,11 @@ type Match struct {
 	// Kinds restricts the packet kind ("data", "ack", "barrier-coll",
 	// ...); nil means any.
 	Kinds map[string]bool
+	// Groups restricts the process-group ID the packet carries (see
+	// netsim.Packet.Group); nil means any. Group scoping is how a fault
+	// targets one tenant's collective traffic on nodes that several
+	// groups share.
+	Groups map[int]bool
 	// Bidirectional also accepts packets whose (Src, Dst) match the rule's
 	// (Dst, Src) — the natural scope for link and node faults.
 	Bidirectional bool
@@ -55,6 +60,15 @@ func Kinds(kinds ...string) map[string]bool {
 	s := make(map[string]bool, len(kinds))
 	for _, k := range kinds {
 		s[k] = true
+	}
+	return s
+}
+
+// Groups builds the group set of a Match.
+func Groups(ids ...int) map[int]bool {
+	s := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		s[id] = true
 	}
 	return s
 }
@@ -75,6 +89,9 @@ func From(ids ...int) Match { return Match{Src: Nodes(ids...)} }
 // Matches reports whether the packet falls in scope.
 func (m Match) Matches(pkt netsim.Packet) bool {
 	if m.Kinds != nil && !m.Kinds[pkt.Kind] {
+		return false
+	}
+	if m.Groups != nil && !m.Groups[pkt.Group] {
 		return false
 	}
 	if m.endpoints(pkt.Src, pkt.Dst) {
@@ -293,9 +310,9 @@ func (e RandomLoss) Apply(_ netsim.Packet, _ sim.Time, rng *sim.RNG) netsim.Outc
 func (e RandomLoss) Clone() Effect { return RandomLoss{Rate: e.Rate} }
 
 // EveryNth deterministically drops every N-th matching packet of each
-// src->dst flow (the N-th, 2N-th, ... in per-flow arrival order); Offset
-// shifts the phase so the first drop is flow packet N-Offset. N <= 0
-// never drops.
+// (group, src, dst) flow (the N-th, 2N-th, ... in per-flow arrival
+// order); Offset shifts the phase so the first drop is flow packet
+// N-Offset. N <= 0 never drops.
 //
 // Counting is per flow, not global, for two reasons: it matches what
 // production impairment tools do (per-connection every-Nth modes), and a
@@ -304,12 +321,14 @@ func (e RandomLoss) Clone() Effect { return RandomLoss{Rate: e.Rate} }
 // exact 2-packet cycle whose parity never shifts, so the resend is
 // dropped forever and the protocol livelocks. A per-flow counter makes
 // any retry on the same flow advance that flow's phase, so recovery is
-// guaranteed.
+// guaranteed. Flows are additionally keyed by the packet's group ID so
+// that when several tenants share a node pair, one tenant's traffic
+// cannot advance (and thereby skew) another tenant's drop phase.
 type EveryNth struct {
 	N      int
 	Offset int
 
-	seen map[[2]int]int
+	seen map[[3]int]int
 }
 
 // Apply implements Effect.
@@ -318,9 +337,9 @@ func (e *EveryNth) Apply(pkt netsim.Packet, _ sim.Time, _ *sim.RNG) netsim.Outco
 		return netsim.Outcome{}
 	}
 	if e.seen == nil {
-		e.seen = make(map[[2]int]int)
+		e.seen = make(map[[3]int]int)
 	}
-	flow := [2]int{pkt.Src, pkt.Dst}
+	flow := [3]int{pkt.Group, pkt.Src, pkt.Dst}
 	e.seen[flow]++
 	return netsim.Outcome{Drop: (e.seen[flow]+e.Offset)%e.N == 0}
 }

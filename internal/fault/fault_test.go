@@ -8,6 +8,10 @@ import (
 	"nicbarrier/internal/sim"
 )
 
+func gpkt(src, dst, group int) netsim.Packet {
+	return netsim.Packet{Src: src, Dst: dst, Size: 64, Kind: "barrier-coll", Group: group}
+}
+
 func pkt(src, dst int, kind string) netsim.Packet {
 	return netsim.Packet{Src: src, Dst: dst, Size: 20, Kind: kind}
 }
@@ -31,6 +35,9 @@ func TestMatchScoping(t *testing.T) {
 		{"node sends", Node(5), pkt(5, 1, "x"), true},
 		{"node receives", Node(5), pkt(1, 5, "x"), true},
 		{"node uninvolved", Node(5), pkt(1, 2, "x"), false},
+		{"group hit", Match{Groups: Groups(2)}, gpkt(0, 1, 2), true},
+		{"group miss", Match{Groups: Groups(2)}, gpkt(0, 1, 3), false},
+		{"group and src", Match{Groups: Groups(2), Src: Nodes(0)}, gpkt(4, 1, 2), false},
 	}
 	for _, c := range cases {
 		if got := c.m.Matches(c.pkt); got != c.want {
@@ -113,6 +120,33 @@ func TestEveryNthCountsPerFlow(t *testing.T) {
 	for i, p := range seq {
 		if got := e.Apply(pkt(p.src, p.dst, "x"), 0, rng).Drop; got != p.want {
 			t.Fatalf("step %d (%d->%d): drop = %v, want %v", i, p.src, p.dst, got, p.want)
+		}
+	}
+}
+
+// Flows are keyed by group as well: when two tenants share a node pair,
+// one tenant's traffic must not advance (and thereby skew) the other
+// tenant's every-Nth phase.
+func TestEveryNthCountsPerGroupFlow(t *testing.T) {
+	e := &EveryNth{N: 2}
+	rng := sim.NewRNG(1)
+	type probe struct {
+		group int
+		want  bool
+	}
+	// Same (src, dst) pair throughout; groups interleave.
+	seq := []probe{
+		{1, false}, // group 1 flow #1
+		{2, false}, // group 2 flow #1: NOT the pair's 2nd packet
+		{1, true},  // group 1 flow #2: dropped
+		{2, true},  // group 2 flow #2: dropped on its own count
+		{1, false}, // group 1 flow #3
+		{0, false}, // ungrouped traffic is its own flow
+		{0, true},  // ungrouped flow #2: dropped
+	}
+	for i, p := range seq {
+		if got := e.Apply(gpkt(0, 1, p.group), 0, rng).Drop; got != p.want {
+			t.Fatalf("step %d (group %d): drop = %v, want %v", i, p.group, got, p.want)
 		}
 	}
 }

@@ -327,4 +327,5 @@ func init() {
 	RegisterScenario(Scenario{ID: "skew",
 		Title: "Section 8.2: barrier cost under process entry skew", Figure: Skew})
 	registerFaultScenarios()
+	registerTenantScenarios()
 }

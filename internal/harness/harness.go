@@ -94,6 +94,10 @@ type Point struct {
 type Series struct {
 	Name   string
 	Points []Point
+	// Unit overrides the figure's unit for this series — mixed-unit
+	// figures (e.g. a throughput curve next to latency percentiles)
+	// need per-series units in machine-readable reports.
+	Unit string
 }
 
 // Figure is a reproduced paper figure.

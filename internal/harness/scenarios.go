@@ -162,10 +162,14 @@ func (f Figure) ToPoints() []NamedValue {
 	}
 	var out []NamedValue
 	for _, s := range f.Series {
+		su := s.Unit
+		if su == "" {
+			su = unit
+		}
 		for _, p := range s.Points {
 			out = append(out, NamedValue{
 				Name:  metricName(f.ID, s.Name, fmt.Sprintf("n%d", p.N)),
-				Unit:  unit,
+				Unit:  su,
 				Value: p.LatencyUS,
 			})
 		}

@@ -68,6 +68,13 @@ type MyrinetNIC struct {
 	// stall when all are in flight (awaiting ACK).
 	SendPacketPool int
 
+	// GroupQueueSlots is the number of NIC-resident group-queue entries
+	// (collective or direct). The paper's protocol keeps "a separate
+	// queue for a particular process group" in LANai SRAM, so the table
+	// is a hard, small resource: installing more concurrent groups than
+	// slots fails cleanly.
+	GroupQueueSlots int
+
 	// RetransmitTimeout drives sender-side timeout retransmission for
 	// the p2p path; NackTimeout drives receiver-driven retransmission
 	// for the collective path. Both are far above one barrier latency so
@@ -84,6 +91,10 @@ type ElanNIC struct {
 	DMADescCycles   int64 // DMA engine processes one RDMA descriptor
 	EventFireCycles int64 // firing an event on packet arrival
 	ChainCycles     int64 // a chained event triggers the next descriptor
+
+	// ChainSlots is the number of chained-descriptor lists (one per
+	// process group) that fit in Elan SRAM; arming more fails cleanly.
+	ChainSlots int
 
 	// HostEventWrite is the latency for the NIC to make a completion
 	// visible in host memory (Elan writes host memory directly).
@@ -199,6 +210,7 @@ func baseMyrinet() MyrinetProfile {
 			RecvFixed: sim.Nanos(583),
 
 			SendPacketPool:    8,
+			GroupQueueSlots:   8,
 			RetransmitTimeout: sim.Micros(400),
 			NackTimeout:       sim.Micros(400),
 		},
@@ -231,6 +243,7 @@ func Elan3Cluster() QuadricsProfile {
 			DMADescCycles:   35,
 			EventFireCycles: 28,
 			ChainCycles:     22,
+			ChainSlots:      8,
 			HostEventWrite:  sim.Nanos(300),
 			SendFixed:       sim.Nanos(250),
 			// Calibrated so an 8-node (2-level) hgsync lands at the

@@ -61,16 +61,38 @@ func (c *collModule) has(id core.GroupID) bool {
 	return ok
 }
 
-func (c *collModule) install(g *core.Group, sched barrier.Schedule) {
-	if c.has(g.ID) || c.nic.direct.has(g.ID) {
-		panic(fmt.Sprintf("myrinet: group %d already installed on node %d", g.ID, c.nic.node.ID))
+// checkSlot validates that group id can claim a NIC group-queue entry:
+// the ID must be fresh and a slot must be free. The slot table is shared
+// between the collective and direct modules — it models one SRAM-resident
+// group table, whichever protocol serves the group.
+func (n *NIC) checkSlot(id core.GroupID) error {
+	if n.coll.has(id) || n.direct.has(id) {
+		return fmt.Errorf("myrinet: group %d already installed on node %d", id, n.node.ID)
+	}
+	slots := n.node.Prof.NIC.GroupQueueSlots
+	if used := len(n.coll.ops) + len(n.direct.ops); used >= slots {
+		return fmt.Errorf("myrinet: node %d: NIC group-queue slots exhausted (%d of %d in use)",
+			n.node.ID, used, slots)
+	}
+	return nil
+}
+
+// GroupSlotsFree reports how many NIC group-queue entries remain.
+func (n *NIC) GroupSlotsFree() int {
+	return n.node.Prof.NIC.GroupQueueSlots - len(n.coll.ops) - len(n.direct.ops)
+}
+
+func (c *collModule) install(g *core.Group, sched barrier.Schedule) error {
+	if err := c.nic.checkSlot(g.ID); err != nil {
+		return err
 	}
 	c.ops[g.ID] = &collOp{group: g, state: core.NewOpState(sched)}
+	return nil
 }
 
 func (c *collModule) installReduce(g *core.Group, sched barrier.Schedule, op core.ReduceOp) error {
-	if c.has(g.ID) || c.nic.direct.has(g.ID) {
-		panic(fmt.Sprintf("myrinet: group %d already installed on node %d", g.ID, c.nic.node.ID))
+	if err := c.nic.checkSlot(g.ID); err != nil {
+		return err
 	}
 	rd, err := core.NewReduceState(op, sched)
 	if err != nil {
@@ -140,6 +162,7 @@ func (c *collModule) sendAll(op *collOp, seq int, ranks []int) {
 				Dst:     dst,
 				Size:    n.node.Prof.BarrierBytes,
 				Kind:    "barrier-coll",
+				Group:   int(op.group.ID),
 				Payload: payload,
 			})
 			n.Stats.CollSent++
@@ -212,6 +235,7 @@ func (c *collModule) armNack(op *collOp, seq int) {
 					Dst:     dst,
 					Size:    n.node.Prof.BarrierBytes,
 					Kind:    "barrier-nack",
+					Group:   int(op.group.ID),
 					Payload: payload,
 				})
 				n.Stats.NacksSent++
@@ -253,6 +277,7 @@ func (c *collModule) onNack(m nackMsg, fromNode int) {
 					Dst:     fromNode,
 					Size:    n.node.Prof.BarrierBytes,
 					Kind:    "barrier-coll",
+					Group:   int(op.group.ID),
 					Payload: payload,
 				})
 				n.Stats.CollResent++

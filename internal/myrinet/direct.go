@@ -33,11 +33,12 @@ func (d *directModule) has(id core.GroupID) bool {
 	return ok
 }
 
-func (d *directModule) install(g *core.Group, sched barrier.Schedule) {
-	if d.has(g.ID) || d.nic.coll.has(g.ID) {
-		panic(fmt.Sprintf("myrinet: group %d already installed on node %d", g.ID, d.nic.node.ID))
+func (d *directModule) install(g *core.Group, sched barrier.Schedule) error {
+	if err := d.nic.checkSlot(g.ID); err != nil {
+		return err
 	}
 	d.ops[g.ID] = &directOp{group: g, state: core.NewOpState(sched)}
+	return nil
 }
 
 func (d *directModule) mustOp(id core.GroupID) *directOp {
@@ -113,20 +114,23 @@ func (d *directModule) complete(op *directOp, seq int) {
 // --- NIC installation API (shared by both schemes) ---
 
 // InstallCollectiveGroup registers a group for the paper's collective
-// protocol barrier on this NIC.
-func (n *NIC) InstallCollectiveGroup(g *core.Group, sched barrier.Schedule) {
-	n.coll.install(g, sched)
+// protocol barrier on this NIC. It fails when the NIC's group-queue
+// slots are exhausted or the ID is already installed.
+func (n *NIC) InstallCollectiveGroup(g *core.Group, sched barrier.Schedule) error {
+	return n.coll.install(g, sched)
 }
 
 // InstallReduceGroup registers a group for NIC-based allreduce over the
 // collective protocol. It fails when the (operator, schedule) pair cannot
-// produce exact results (sum over non-power-of-two dissemination).
+// produce exact results (sum over non-power-of-two dissemination) or when
+// the NIC's group-queue slots are exhausted.
 func (n *NIC) InstallReduceGroup(g *core.Group, sched barrier.Schedule, op core.ReduceOp) error {
 	return n.coll.installReduce(g, sched, op)
 }
 
 // InstallDirectGroup registers a group for the direct-scheme barrier on
-// this NIC.
-func (n *NIC) InstallDirectGroup(g *core.Group, sched barrier.Schedule) {
-	n.direct.install(g, sched)
+// this NIC. It fails when the NIC's group-queue slots are exhausted or
+// the ID is already installed.
+func (n *NIC) InstallDirectGroup(g *core.Group, sched barrier.Schedule) error {
+	return n.direct.install(g, sched)
 }

@@ -242,14 +242,17 @@ func (n *NIC) injectData(tok *sendToken) {
 		seq := n.nextSeq[tok.dst]
 		n.nextSeq[tok.dst] = seq + 1
 		kind := "data"
+		group := 0
 		if tok.barrier != nil {
 			kind = "barrier-direct"
+			group = int(tok.barrier.group)
 		}
 		pkt := netsim.Packet{
-			Src:  n.node.ID,
-			Dst:  tok.dst,
-			Size: tok.size + n.node.Prof.DataHeaderBytes,
-			Kind: kind,
+			Src:   n.node.ID,
+			Dst:   tok.dst,
+			Size:  tok.size + n.node.Prof.DataHeaderBytes,
+			Kind:  kind,
+			Group: group,
 			Payload: dataMsg{
 				src: n.node.ID, dst: tok.dst, seq: seq,
 				size: tok.size, tag: tok.tag, barrier: tok.barrier,
@@ -337,12 +340,17 @@ func (n *NIC) onData(m dataMsg) {
 // barrier notifications.
 func (n *NIC) sendAck(m dataMsg) {
 	p := n.node.Prof.NIC
+	group := 0
+	if m.barrier != nil {
+		group = int(m.barrier.group)
+	}
 	n.exec(p.AckBuild, p.SendFixed, func() {
 		n.net.Send(netsim.Packet{
 			Src:     n.node.ID,
 			Dst:     m.src,
 			Size:    n.node.Prof.AckBytes,
 			Kind:    "ack",
+			Group:   group,
 			Payload: ackMsg{src: n.node.ID, dst: m.src, seq: m.seq},
 		})
 		n.Stats.AcksSent++

@@ -82,9 +82,50 @@ type Node struct {
 type Host struct {
 	proc
 	node *Node
-	// OnEvent receives every host event after the host has paid the
-	// poll/consume cost. Barrier runners hook it.
+	// OnEvent receives every host event not claimed by a group binding,
+	// after the host has paid the poll/consume cost.
 	OnEvent func(Event)
+	// groupHandlers routes group-addressed events (barrier completions,
+	// host-scheme barrier messages) to the session driving that group, so
+	// concurrent communicators can share one node without clobbering each
+	// other's event hook.
+	groupHandlers map[int]func(Event)
+}
+
+// Bind routes this node's events for one group ID to fn. It panics on a
+// duplicate binding: two drivers polling the same group's completions is
+// a programming error, exactly like double-attaching a NIC.
+func (h *Host) Bind(groupID int, fn func(Event)) {
+	if fn == nil {
+		panic("myrinet: nil group event handler")
+	}
+	if h.groupHandlers == nil {
+		h.groupHandlers = make(map[int]func(Event))
+	}
+	if _, dup := h.groupHandlers[groupID]; dup {
+		panic(fmt.Sprintf("myrinet: node %d: group %d already bound", h.node.ID, groupID))
+	}
+	h.groupHandlers[groupID] = fn
+}
+
+// bound reports whether a handler is already bound for the group.
+func (h *Host) bound(groupID int) bool {
+	_, ok := h.groupHandlers[groupID]
+	return ok
+}
+
+// eventGroup extracts the group an event is addressed to, when it is
+// group traffic at all.
+func eventGroup(ev Event) (int, bool) {
+	switch ev.Kind {
+	case EvBarrierDone:
+		return ev.Group, true
+	case EvRecv:
+		if tag, ok := ev.Tag.(hostBarrierTag); ok {
+			return int(tag.group), true
+		}
+	}
+	return 0, false
 }
 
 // NewNode builds a node attached to net.
@@ -104,9 +145,18 @@ func NewNode(eng *sim.Engine, id int, prof *hwprofile.MyrinetProfile, net *netsi
 }
 
 // deliver hands a DMAed event record to the host, charging the host's
-// poll-and-consume cost before the handler sees it.
+// poll-and-consume cost before the handler sees it. Group-addressed
+// events go to their bound handler; everything else (and events for
+// unbound groups) falls through to OnEvent. Routing is free in virtual
+// time — it models the host poll loop demultiplexing its event queue.
 func (h *Host) deliver(ev Event) {
 	h.exec(h.node.Prof.Host.RecvPollCycles, 0, func() {
+		if gid, ok := eventGroup(ev); ok {
+			if fn := h.groupHandlers[gid]; fn != nil {
+				fn(ev)
+				return
+			}
+		}
 		if h.OnEvent != nil {
 			h.OnEvent(ev)
 		}

@@ -38,11 +38,15 @@ func (s Scheme) String() string {
 	}
 }
 
-// Session runs consecutive barriers over a subset of a cluster's nodes,
-// the measurement loop of the paper's Section 8 ("processes execute
-// consecutive barrier operations").
+// Session runs consecutive collective operations over a subset of a
+// cluster's nodes — the measurement loop of the paper's Section 8
+// ("processes execute consecutive barrier operations"). Each session
+// owns one group ID; several sessions with distinct IDs can coexist on
+// one cluster (the communicator layer builds multi-tenant workloads
+// that way), with per-node event routing keyed on the group ID.
 type Session struct {
 	cl      *Cluster
+	gid     core.GroupID
 	nodeIDs []int // participating nodes; index is the rank
 	scheme  Scheme
 	// gated sessions start iteration k+1 only once every member has
@@ -52,11 +56,26 @@ type Session struct {
 
 	members []*member
 	iters   int
-	doneAt  []sim.Time // completion time per iteration
-	pending []int      // per iteration, members not yet complete
+	doneAt  []sim.Time // completion time per iteration of this run
+	pending []int      // per iteration of this run, members not yet complete
+	// base is the absolute operation sequence this run starts at: NIC
+	// group queues number operations monotonically across runs, so after
+	// Reset a relaunched session maps absolute sequence s to run-local
+	// iteration s-base.
+	base int
 
 	// results[iter][rank] collects allreduce outcomes; nil otherwise.
 	results [][]int64
+
+	// NextAt, when set before Launch, gates when a member may post
+	// iteration `next`: the returned virtual time is the earliest post
+	// instant (times at or before "now" post immediately, preserving the
+	// default back-to-back loop). Workload engines use it to shape
+	// open-loop arrival processes and closed-loop think times.
+	NextAt func(rank, next int) sim.Time
+	// OnIterDone, when set, observes each iteration's global completion
+	// (all members done) at the virtual time it happens.
+	OnIterDone func(iter int, at sim.Time)
 }
 
 type member struct {
@@ -70,7 +89,15 @@ type member struct {
 	// contrib supplies the allreduce contribution per iteration; nil for
 	// barriers and broadcasts.
 	contrib func(seq int) int64
+	// deferSeq is the iteration a NextAt-deferred start will post when
+	// the member fires as a sim.Event (at most one outstanding per
+	// member: iterations chain).
+	deferSeq int
 }
+
+// Fire implements sim.Event: post the deferred iteration. Scheduling the
+// member itself keeps NextAt-gated loops allocation-free per operation.
+func (m *member) Fire() { m.start(m.deferSeq) }
 
 // hostBarrierTag tags host-scheme barrier messages on the wire.
 type hostBarrierTag struct {
@@ -78,52 +105,89 @@ type hostBarrierTag struct {
 	seq   int
 }
 
-// SessionGroupID is the group ID sessions install. One session per
-// cluster: sessions own the host event hooks and the group tables.
+// SessionGroupID is the group ID single-session constructors install,
+// mirroring MPI_COMM_WORLD. Multi-group callers pass their own IDs via
+// the WithID constructors.
 const SessionGroupID = 1
 
-// NewSession prepares a barrier session. nodeIDs lists the participating
-// node IDs in rank order (the harness passes a random permutation, as the
-// paper does); alg and opts pick the barrier algorithm.
+// NewSession prepares a barrier session on group SessionGroupID. nodeIDs
+// lists the participating node IDs in rank order (the harness passes a
+// random permutation, as the paper does); alg and opts pick the barrier
+// algorithm. It panics on installation failure — the single-session
+// constructors exist for the one-group measurement loops, where a full
+// group table is a programming error.
 func NewSession(cl *Cluster, nodeIDs []int, scheme Scheme, alg barrier.Algorithm, opts barrier.Options) *Session {
+	s, err := NewSessionWithID(cl, SessionGroupID, nodeIDs, scheme, alg, opts)
+	if err != nil {
+		panic(fmt.Sprintf("myrinet: %v", err))
+	}
+	return s
+}
+
+// NewSessionWithID prepares a barrier session on an explicit group ID,
+// failing cleanly when a member NIC's group-queue slots are exhausted or
+// the ID is already installed on a member.
+func NewSessionWithID(cl *Cluster, gid core.GroupID, nodeIDs []int, scheme Scheme,
+	alg barrier.Algorithm, opts barrier.Options) (*Session, error) {
 	scheds := make([]barrier.Schedule, len(nodeIDs))
 	for rank := range nodeIDs {
 		scheds[rank] = barrier.New(alg, len(nodeIDs), rank, opts)
 	}
-	return newSession(cl, nodeIDs, scheme, scheds, false)
+	return newSession(cl, gid, nodeIDs, scheme, scheds, false)
 }
 
 // NewBroadcastSession prepares a NIC-based broadcast session (the
-// extension of the paper's future-work section): the root's notification
-// fans down a d-ary tree entirely on the NICs via the collective
-// protocol. Iterations are globally gated, since a broadcast does not
-// synchronize its participants.
+// extension of the paper's future-work section) on group SessionGroupID:
+// the root's notification fans down a d-ary tree entirely on the NICs
+// via the collective protocol. Iterations are globally gated, since a
+// broadcast does not synchronize its participants.
 func NewBroadcastSession(cl *Cluster, nodeIDs []int, root, degree int) *Session {
+	s, err := NewBroadcastSessionWithID(cl, SessionGroupID, nodeIDs, root, degree)
+	if err != nil {
+		panic(fmt.Sprintf("myrinet: %v", err))
+	}
+	return s
+}
+
+// NewBroadcastSessionWithID is NewBroadcastSession on an explicit group
+// ID, with clean errors instead of panics.
+func NewBroadcastSessionWithID(cl *Cluster, gid core.GroupID, nodeIDs []int, root, degree int) (*Session, error) {
 	scheds := make([]barrier.Schedule, len(nodeIDs))
 	for rank := range nodeIDs {
 		scheds[rank] = barrier.BroadcastTree(len(nodeIDs), rank, root, degree)
 	}
-	return newSession(cl, nodeIDs, SchemeCollective, scheds, true)
+	return newSession(cl, gid, nodeIDs, SchemeCollective, scheds, true)
 }
 
 // NewAllreduceSession prepares a NIC-based single-word allreduce over the
-// collective protocol. contrib supplies each rank's contribution per
-// iteration; results are collected per iteration and retrievable with
-// Results after Run.
+// collective protocol on group SessionGroupID. contrib supplies each
+// rank's contribution per iteration; results are collected per iteration
+// and retrievable with Results after Run.
 func NewAllreduceSession(cl *Cluster, nodeIDs []int, alg barrier.Algorithm, opts barrier.Options,
 	op core.ReduceOp, contrib func(rank, iter int) int64) (*Session, error) {
+	return NewAllreduceSessionWithID(cl, SessionGroupID, nodeIDs, alg, opts, op, contrib)
+}
+
+// NewAllreduceSessionWithID is NewAllreduceSession on an explicit group
+// ID.
+func NewAllreduceSessionWithID(cl *Cluster, gid core.GroupID, nodeIDs []int,
+	alg barrier.Algorithm, opts barrier.Options,
+	op core.ReduceOp, contrib func(rank, iter int) int64) (*Session, error) {
+	if len(nodeIDs) == 0 {
+		panic("myrinet: empty session")
+	}
 	scheds := make([]barrier.Schedule, len(nodeIDs))
 	for rank := range nodeIDs {
 		scheds[rank] = barrier.New(alg, len(nodeIDs), rank, opts)
-	}
-	if len(nodeIDs) == 0 {
-		panic("myrinet: empty session")
 	}
 	// Validate the operator/schedule combination before touching NICs.
 	if _, err := core.NewReduceState(op, scheds[0]); err != nil {
 		return nil, err
 	}
-	s := newAllreduceSession(cl, nodeIDs, scheds, op)
+	s, err := newAllreduceSession(cl, gid, nodeIDs, scheds, op)
+	if err != nil {
+		return nil, err
+	}
 	for rank, m := range s.members {
 		rank := rank
 		m.contrib = func(iter int) int64 { return contrib(rank, iter) }
@@ -131,46 +195,71 @@ func NewAllreduceSession(cl *Cluster, nodeIDs []int, alg barrier.Algorithm, opts
 	return s, nil
 }
 
-func newAllreduceSession(cl *Cluster, nodeIDs []int, scheds []barrier.Schedule, op core.ReduceOp) *Session {
-	s := &Session{cl: cl, nodeIDs: append([]int(nil), nodeIDs...), scheme: SchemeCollective}
-	for rank, id := range s.nodeIDs {
-		if id < 0 || id >= len(cl.Nodes) {
-			panic(fmt.Sprintf("myrinet: node %d outside cluster of %d", id, len(cl.Nodes)))
-		}
+func newAllreduceSession(cl *Cluster, gid core.GroupID, nodeIDs []int,
+	scheds []barrier.Schedule, op core.ReduceOp) (*Session, error) {
+	if err := validateMembers(cl, gid, nodeIDs, true); err != nil {
+		return nil, err
+	}
+	s := &Session{cl: cl, gid: gid, nodeIDs: append([]int(nil), nodeIDs...), scheme: SchemeCollective}
+	for rank := range s.nodeIDs {
+		id := s.nodeIDs[rank]
 		m := &member{
 			s:     s,
 			rank:  rank,
 			node:  cl.Nodes[id],
-			group: core.NewGroup(SessionGroupID, s.nodeIDs, rank),
+			group: core.NewGroup(gid, s.nodeIDs, rank),
 			sched: scheds[rank],
 		}
 		if err := m.node.NIC.InstallReduceGroup(m.group, m.sched, op); err != nil {
-			panic(fmt.Sprintf("myrinet: %v", err)) // validated by caller
+			return nil, err
 		}
-		m.node.Host.OnEvent = m.onEvent
+		m.node.Host.Bind(int(gid), m.onEvent)
 		s.members = append(s.members, m)
 	}
-	return s
+	return s, nil
 }
 
 // Results returns the allreduce outcome per iteration and rank; nil for
 // barrier and broadcast sessions.
 func (s *Session) Results() [][]int64 { return s.results }
 
-func newSession(cl *Cluster, nodeIDs []int, scheme Scheme, scheds []barrier.Schedule, gated bool) *Session {
+// validateMembers pre-checks a whole membership before any NIC or host
+// state is touched, so failed constructions leave the cluster exactly as
+// it was (no half-installed groups, no dangling event bindings).
+func validateMembers(cl *Cluster, gid core.GroupID, nodeIDs []int, needSlot bool) error {
 	if len(nodeIDs) == 0 {
 		panic("myrinet: empty session")
 	}
-	s := &Session{cl: cl, nodeIDs: append([]int(nil), nodeIDs...), scheme: scheme, gated: gated}
-	for rank, id := range s.nodeIDs {
+	for _, id := range nodeIDs {
 		if id < 0 || id >= len(cl.Nodes) {
 			panic(fmt.Sprintf("myrinet: node %d outside cluster of %d", id, len(cl.Nodes)))
 		}
+		node := cl.Nodes[id]
+		if node.Host.bound(int(gid)) {
+			return fmt.Errorf("myrinet: node %d: group %d already bound", id, gid)
+		}
+		if needSlot {
+			if err := node.NIC.checkSlot(gid); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func newSession(cl *Cluster, gid core.GroupID, nodeIDs []int, scheme Scheme,
+	scheds []barrier.Schedule, gated bool) (*Session, error) {
+	if err := validateMembers(cl, gid, nodeIDs, scheme != SchemeHost); err != nil {
+		return nil, err
+	}
+	s := &Session{cl: cl, gid: gid, nodeIDs: append([]int(nil), nodeIDs...), scheme: scheme, gated: gated}
+	for rank := range s.nodeIDs {
+		id := s.nodeIDs[rank]
 		m := &member{
 			s:     s,
 			rank:  rank,
 			node:  cl.Nodes[id],
-			group: core.NewGroup(SessionGroupID, s.nodeIDs, rank),
+			group: core.NewGroup(gid, s.nodeIDs, rank),
 			sched: scheds[rank],
 		}
 		switch scheme {
@@ -180,24 +269,32 @@ func newSession(cl *Cluster, nodeIDs []int, scheme Scheme, scheds []barrier.Sche
 			// is replenished during the run.
 			m.node.Host.PostRecvTokens(len(m.sched.ExpectedArrivals()) + 4)
 		case SchemeDirect:
-			m.node.NIC.InstallDirectGroup(m.group, m.sched)
+			if err := m.node.NIC.InstallDirectGroup(m.group, m.sched); err != nil {
+				return nil, err
+			}
 		case SchemeCollective:
-			m.node.NIC.InstallCollectiveGroup(m.group, m.sched)
+			if err := m.node.NIC.InstallCollectiveGroup(m.group, m.sched); err != nil {
+				return nil, err
+			}
 		default:
 			panic(fmt.Sprintf("myrinet: unknown scheme %d", int(scheme)))
 		}
-		m.node.Host.OnEvent = m.onEvent
+		m.node.Host.Bind(int(gid), m.onEvent)
 		s.members = append(s.members, m)
 	}
-	return s
+	return s, nil
 }
 
-// Run executes iters consecutive barriers and returns the virtual time at
-// which each iteration completed on every node. It panics if the
-// simulation deadlocks before finishing.
-func (s *Session) Run(iters int) []sim.Time {
+// Launch prepares iters consecutive operations and posts iteration 0 on
+// every member, without driving the engine: callers that multiplex
+// several sessions over one cluster launch them all, then run the engine
+// themselves until every session reports Done.
+func (s *Session) Launch(iters int) {
 	if iters < 1 {
 		panic(fmt.Sprintf("myrinet: iterations %d", iters))
+	}
+	if s.iters != 0 {
+		panic("myrinet: session launched twice (Reset between runs)")
 	}
 	s.iters = iters
 	s.doneAt = make([]sim.Time, iters)
@@ -212,10 +309,54 @@ func (s *Session) Run(iters int) []sim.Time {
 		}
 	}
 	for _, m := range s.members {
-		m.start(0)
+		s.post(m, s.base)
 	}
-	finished := func() bool { return s.pending[iters-1] == 0 }
-	if !s.cl.Eng.RunCondition(finished) {
+}
+
+// Reset readies a finished session for another Launch. The group stays
+// installed on the NICs (its sequence space continues; the protocol's
+// group queue is a long-lived resource), only the run bookkeeping is
+// cleared.
+func (s *Session) Reset() {
+	if s.iters > 0 && !s.Done() {
+		panic("myrinet: Reset mid-run")
+	}
+	s.base += s.iters
+	s.iters = 0
+	s.doneAt, s.pending, s.results = nil, nil, nil
+}
+
+// post starts absolute operation seq on member m, honoring the NextAt
+// gate (which sees run-local iteration numbers).
+func (s *Session) post(m *member, seq int) {
+	if s.NextAt != nil {
+		if at := s.NextAt(m.rank, seq-s.base); at > s.cl.Eng.Now() {
+			m.deferSeq = seq
+			s.cl.Eng.ScheduleEvent(at, m)
+			return
+		}
+	}
+	m.start(seq)
+}
+
+// Done reports whether every launched iteration has completed on every
+// member.
+func (s *Session) Done() bool {
+	return s.iters > 0 && s.pending[s.iters-1] == 0
+}
+
+// DoneAt returns the completion time per iteration (valid once Done).
+func (s *Session) DoneAt() []sim.Time { return s.doneAt }
+
+// Size reports the number of participating ranks.
+func (s *Session) Size() int { return len(s.members) }
+
+// Run executes iters consecutive barriers and returns the virtual time at
+// which each iteration completed on every node. It panics if the
+// simulation deadlocks before finishing.
+func (s *Session) Run(iters int) []sim.Time {
+	s.Launch(iters)
+	if !s.cl.Eng.RunCondition(s.Done) {
 		panic(fmt.Sprintf("myrinet: %s barrier deadlocked (%d nodes, iter pending %v)",
 			s.scheme, len(s.members), s.pending))
 	}
@@ -235,35 +376,40 @@ func (s *Session) MeanLatency(warmup, iters int) sim.Duration {
 	return total / sim.Duration(iters)
 }
 
+// complete records one member's completion of absolute operation seq.
 func (s *Session) complete(rank, seq int) {
-	if seq >= s.iters {
-		panic(fmt.Sprintf("myrinet: completion for iteration %d beyond %d", seq, s.iters))
+	rel := seq - s.base
+	if rel >= s.iters {
+		panic(fmt.Sprintf("myrinet: completion for iteration %d beyond %d", rel, s.iters))
 	}
-	s.pending[seq]--
-	if s.pending[seq] < 0 {
-		panic(fmt.Sprintf("myrinet: double completion of iteration %d by rank %d", seq, rank))
+	s.pending[rel]--
+	if s.pending[rel] < 0 {
+		panic(fmt.Sprintf("myrinet: double completion of iteration %d by rank %d", rel, rank))
 	}
-	if s.pending[seq] == 0 {
-		s.doneAt[seq] = s.cl.Eng.Now()
+	if s.pending[rel] == 0 {
+		s.doneAt[rel] = s.cl.Eng.Now()
+		if s.OnIterDone != nil {
+			s.OnIterDone(rel, s.doneAt[rel])
+		}
 		if s.gated {
-			if next := seq + 1; next < s.iters {
+			if next := rel + 1; next < s.iters {
 				for _, m := range s.members {
-					m.start(next)
+					s.post(m, seq+1)
 				}
 			}
 		}
 	}
 	if !s.gated {
-		if next := seq + 1; next < s.iters {
-			s.members[rank].start(next)
+		if next := rel + 1; next < s.iters {
+			s.post(s.members[rank], seq+1)
 		}
 	}
 }
 
-// start posts operation #seq on this member's node.
+// start posts absolute operation #seq on this member's node.
 func (m *member) start(seq int) {
 	if m.contrib != nil {
-		m.node.Host.PostReduce(SessionGroupID, m.contrib(seq))
+		m.node.Host.PostReduce(int(m.s.gid), m.contrib(seq-m.s.base))
 		return
 	}
 	switch m.s.scheme {
@@ -277,7 +423,7 @@ func (m *member) start(seq int) {
 			m.s.complete(m.rank, seq)
 		}
 	default:
-		m.node.Host.PostBarrier(SessionGroupID)
+		m.node.Host.PostBarrier(int(m.s.gid))
 	}
 }
 
@@ -291,8 +437,8 @@ func (m *member) hostSend(seq int, ranks []int) {
 func (m *member) onEvent(ev Event) {
 	switch ev.Kind {
 	case EvBarrierDone:
-		if m.s.results != nil && ev.Seq < len(m.s.results) {
-			m.s.results[ev.Seq][m.rank] = ev.Value
+		if rel := ev.Seq - m.s.base; m.s.results != nil && rel < len(m.s.results) {
+			m.s.results[rel][m.rank] = ev.Value
 		}
 		m.s.complete(m.rank, ev.Seq)
 	case EvRecv:

@@ -32,7 +32,12 @@ type Packet struct {
 	Src, Dst int
 	Size     int    // bytes on the wire, including headers
 	Kind     string // accounting label ("data", "ack", "barrier", "nack", ...)
-	Payload  any
+	// Group is the process-group ID the packet belongs to, carried in the
+	// static packet header by the collective protocol (0: ungrouped p2p
+	// traffic). The network itself never dispatches on it; it exists so
+	// impairments and accounting can tell concurrent tenants apart.
+	Group   int
+	Payload any
 }
 
 // Params fixes the physical constants of a network.

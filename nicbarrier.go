@@ -35,7 +35,6 @@ import (
 	"nicbarrier/internal/hwprofile"
 	"nicbarrier/internal/model"
 	"nicbarrier/internal/myrinet"
-	"nicbarrier/internal/netsim"
 	"nicbarrier/internal/sim"
 )
 
@@ -207,22 +206,26 @@ func (c Config) ids() []int {
 }
 
 // MeasureBarrier runs warmup+iters consecutive barriers under cfg and
-// returns latency statistics, mirroring the paper's measurement loop.
+// returns latency statistics, mirroring the paper's measurement loop. It
+// is a thin wrapper over a single-group Cluster: one fresh cluster, one
+// group spanning cfg.Nodes, one run — bit-identical to the historical
+// one-shot path.
 func MeasureBarrier(cfg Config, warmup, iters int) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
-	if warmup < 0 || iters < 1 {
-		return Result{}, fmt.Errorf("nicbarrier: warmup %d / iters %d", warmup, iters)
+	if err := checkLoop(warmup, iters); err != nil {
+		return Result{}, err
 	}
-	switch cfg.Interconnect {
-	case MyrinetLANai91, MyrinetLANaiXP:
-		return measureMyrinet(cfg, warmup, iters)
-	case QuadricsElan3:
-		return measureElan(cfg, warmup, iters)
-	default:
-		return Result{}, fmt.Errorf("nicbarrier: unknown interconnect %d", int(cfg.Interconnect))
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return Result{}, err
 	}
+	g, err := c.NewGroup(cfg.ids())
+	if err != nil {
+		return Result{}, err
+	}
+	return g.Barrier(warmup, iters)
 }
 
 func myrinetProfile(ic Interconnect) hwprofile.MyrinetProfile {
@@ -239,110 +242,32 @@ func applyMyrinetFaults(cfg Config, cl *myrinet.Cluster) {
 	}
 }
 
-func measureMyrinet(cfg Config, warmup, iters int) (Result, error) {
-	eng := sim.NewEngine()
-	var loss netsim.LossModel
-	if cfg.LossRate > 0 {
-		loss = &netsim.RandomLoss{Rate: cfg.LossRate, RNG: sim.NewRNG(cfg.Seed + 1)}
-	}
-	cl := myrinet.NewCluster(eng, myrinetProfile(cfg.Interconnect), cfg.Nodes, loss)
-	applyMyrinetFaults(cfg, cl)
-	var scheme myrinet.Scheme
-	switch cfg.Scheme {
-	case HostBased:
-		scheme = myrinet.SchemeHost
-	case NICDirect:
-		scheme = myrinet.SchemeDirect
-	case NICCollective:
-		scheme = myrinet.SchemeCollective
-	default:
-		return Result{}, fmt.Errorf("nicbarrier: scheme %v unsupported on Myrinet", cfg.Scheme)
-	}
-	s := myrinet.NewSession(cl, cfg.ids(), scheme, cfg.Algorithm.internal(),
-		barrier.Options{TreeDegree: cfg.TreeDegree})
-	doneAt := s.Run(warmup + iters)
-	eng.Run() // drain trailing ACKs and events for accurate counters
-	st := harness.LatencyStats(doneAt, warmup)
-	nic := cl.Stats()
-	net := cl.Net.Counters()
-	return Result{
-		MeanMicros: st.MeanUS, MinMicros: st.MinUS, MaxMicros: st.MaxUS,
-		StdMicros: st.StdUS, Iterations: st.Iterations,
-		PacketsPerBarrier: float64(net.Sent) / float64(warmup+iters),
-		Retransmissions:   nic.Retransmits + nic.CollResent,
-		DroppedPackets:    net.Dropped,
-	}, nil
-}
-
-func measureElan(cfg Config, warmup, iters int) (Result, error) {
-	eng := sim.NewEngine()
-	cl := elan.NewCluster(eng, hwprofile.Elan3Cluster(), cfg.Nodes)
-	if plan := compileFaults(cfg.Faults, cfg.Seed, cl.Prof.Net.BandwidthMBps); plan != nil {
-		cl.SetFaults(plan)
-	}
-	var scheme elan.Scheme
-	alg := cfg.Algorithm.internal()
-	switch cfg.Scheme {
-	case HostBased:
-		scheme = elan.SchemeGsync
-		alg = barrier.GatherBroadcast
-	case NICCollective:
-		scheme = elan.SchemeChained
-	case HardwareBroadcast:
-		scheme = elan.SchemeHW
-	default:
-		return Result{}, fmt.Errorf("nicbarrier: scheme %v unsupported on Quadrics", cfg.Scheme)
-	}
-	s := elan.NewSession(cl, cfg.ids(), scheme, alg,
-		barrier.Options{TreeDegree: cfg.TreeDegree})
-	doneAt := s.Run(warmup + iters)
-	eng.Run()
-	st := harness.LatencyStats(doneAt, warmup)
-	net := cl.Net.Counters()
-	return Result{
-		MeanMicros: st.MeanUS, MinMicros: st.MinUS, MaxMicros: st.MaxUS,
-		StdMicros: st.StdUS, Iterations: st.Iterations,
-		PacketsPerBarrier: float64(net.Sent) / float64(warmup+iters),
-		DroppedPackets:    net.Dropped,
-	}, nil
-}
-
 // MeasureBroadcast runs the NIC-based broadcast extension on a Myrinet
 // cluster: the root's notification fans down a degree-ary tree entirely
-// on the NICs.
+// on the NICs. Like MeasureBarrier, it is a thin wrapper over a
+// single-group Cluster.
 func MeasureBroadcast(cfg Config, root, degree, warmup, iters int) (Result, error) {
 	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if root < 0 || root >= cfg.Nodes {
+		return Result{}, fmt.Errorf("nicbarrier: root %d outside group of %d", root, cfg.Nodes)
+	}
+	if err := checkLoop(warmup, iters); err != nil {
 		return Result{}, err
 	}
 	if cfg.Interconnect == QuadricsElan3 {
 		return Result{}, fmt.Errorf("nicbarrier: NIC-based broadcast is implemented on Myrinet")
 	}
-	if root < 0 || root >= cfg.Nodes {
-		return Result{}, fmt.Errorf("nicbarrier: root %d outside group of %d", root, cfg.Nodes)
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return Result{}, err
 	}
-	if warmup < 0 || iters < 1 {
-		return Result{}, fmt.Errorf("nicbarrier: warmup %d / iters %d", warmup, iters)
+	g, err := c.NewGroup(cfg.ids())
+	if err != nil {
+		return Result{}, err
 	}
-	eng := sim.NewEngine()
-	var loss netsim.LossModel
-	if cfg.LossRate > 0 {
-		loss = &netsim.RandomLoss{Rate: cfg.LossRate, RNG: sim.NewRNG(cfg.Seed + 1)}
-	}
-	cl := myrinet.NewCluster(eng, myrinetProfile(cfg.Interconnect), cfg.Nodes, loss)
-	applyMyrinetFaults(cfg, cl)
-	s := myrinet.NewBroadcastSession(cl, cfg.ids(), root, degree)
-	doneAt := s.Run(warmup + iters)
-	eng.Run()
-	st := harness.LatencyStats(doneAt, warmup)
-	nic := cl.Stats()
-	net := cl.Net.Counters()
-	return Result{
-		MeanMicros: st.MeanUS, MinMicros: st.MinUS, MaxMicros: st.MaxUS,
-		StdMicros: st.StdUS, Iterations: st.Iterations,
-		PacketsPerBarrier: float64(net.Sent) / float64(warmup+iters),
-		Retransmissions:   nic.Retransmits + nic.CollResent,
-		DroppedPackets:    net.Dropped,
-	}, nil
+	return g.Broadcast(root, degree, warmup, iters)
 }
 
 // ReduceOperator selects the combining operator of a NIC-based allreduce.
@@ -375,7 +300,8 @@ func (op ReduceOperator) String() string { return op.internal().String() }
 // collective protocol (the future-work extension of the paper's Section
 // 9) on a Myrinet cluster, self-checking every iteration's result against
 // the reference reduction. It fails for operator/algorithm combinations
-// that cannot be exact (sum over non-power-of-two dissemination).
+// that cannot be exact (sum over non-power-of-two dissemination). Like
+// MeasureBarrier, it is a thin wrapper over a single-group Cluster.
 func MeasureAllreduce(cfg Config, op ReduceOperator, warmup, iters int) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
@@ -383,48 +309,18 @@ func MeasureAllreduce(cfg Config, op ReduceOperator, warmup, iters int) (Result,
 	if cfg.Interconnect == QuadricsElan3 {
 		return Result{}, fmt.Errorf("nicbarrier: NIC-based allreduce is implemented on Myrinet")
 	}
-	if warmup < 0 || iters < 1 {
-		return Result{}, fmt.Errorf("nicbarrier: warmup %d / iters %d", warmup, iters)
+	if err := checkLoop(warmup, iters); err != nil {
+		return Result{}, err
 	}
-	eng := sim.NewEngine()
-	var loss netsim.LossModel
-	if cfg.LossRate > 0 {
-		loss = &netsim.RandomLoss{Rate: cfg.LossRate, RNG: sim.NewRNG(cfg.Seed + 1)}
-	}
-	cl := myrinet.NewCluster(eng, myrinetProfile(cfg.Interconnect), cfg.Nodes, loss)
-	applyMyrinetFaults(cfg, cl)
-	contrib := func(rank, iter int) int64 { return int64(rank*131 + iter*17 - 64) }
-	s, err := myrinet.NewAllreduceSession(cl, cfg.ids(), cfg.Algorithm.internal(),
-		barrier.Options{TreeDegree: cfg.TreeDegree}, op.internal(), contrib)
+	c, err := NewCluster(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	doneAt := s.Run(warmup + iters)
-	eng.Run()
-	// Self-check: every rank of every iteration must hold the reference
-	// reduction.
-	for iter, row := range s.Results() {
-		want := contrib(0, iter)
-		for r := 1; r < cfg.Nodes; r++ {
-			want = op.internal().Combine(want, contrib(r, iter))
-		}
-		for rank, got := range row {
-			if got != want {
-				return Result{}, fmt.Errorf(
-					"nicbarrier: allreduce iteration %d rank %d: got %d, want %d", iter, rank, got, want)
-			}
-		}
+	g, err := c.NewGroup(cfg.ids())
+	if err != nil {
+		return Result{}, err
 	}
-	st := harness.LatencyStats(doneAt, warmup)
-	nic := cl.Stats()
-	net := cl.Net.Counters()
-	return Result{
-		MeanMicros: st.MeanUS, MinMicros: st.MinUS, MaxMicros: st.MaxUS,
-		StdMicros: st.StdUS, Iterations: st.Iterations,
-		PacketsPerBarrier: float64(net.Sent) / float64(warmup+iters),
-		Retransmissions:   nic.Retransmits + nic.CollResent,
-		DroppedPackets:    net.Dropped,
-	}, nil
+	return g.Allreduce(op, warmup, iters)
 }
 
 // Fidelity selects how closely the experiment loop follows the paper.

@@ -1,0 +1,158 @@
+package nicbarrier
+
+import (
+	"fmt"
+
+	"nicbarrier/internal/comm"
+)
+
+// ArrivalKind selects how each tenant's operation stream is paced in a
+// workload measurement.
+type ArrivalKind int
+
+// Arrival processes.
+const (
+	// ClosedLoop issues a tenant's next operation when its previous one
+	// completes, after an exponential think time (MeanGapMicros 0 means
+	// back-to-back, the paper's measurement loop).
+	ClosedLoop ArrivalKind = iota
+	// OpenLoop issues operations on a Poisson process independent of
+	// completions; overload shows up as queueing delay in the latency
+	// percentiles.
+	OpenLoop
+)
+
+// String implements fmt.Stringer.
+func (k ArrivalKind) String() string {
+	switch k {
+	case ClosedLoop:
+		return "closed-loop"
+	case OpenLoop:
+		return "open-loop"
+	default:
+		return fmt.Sprintf("ArrivalKind(%d)", int(k))
+	}
+}
+
+// WorkloadSpec describes a multi-tenant collective workload: N tenants,
+// each owning one process group with its own NIC group-queue slot, all
+// issuing collective operations concurrently on one cluster.
+type WorkloadSpec struct {
+	// Tenants is the number of concurrent groups; OpsPerTenant the
+	// operations each issues.
+	Tenants, OpsPerTenant int
+	// GroupSizeMin/Max bound each tenant's group size (drawn uniformly
+	// per tenant). Both zero partitions the cluster evenly.
+	GroupSizeMin, GroupSizeMax int
+	// Overlap places tenants on random, possibly shared nodes; the
+	// default packs tenants into disjoint blocks.
+	Overlap bool
+	// BarrierWeight/BroadcastWeight/AllreduceWeight assign operation
+	// kinds across tenants (all zero: every tenant runs barriers).
+	// Broadcast and allreduce tenants require a Myrinet interconnect;
+	// on Quadrics every tenant runs barriers.
+	BarrierWeight, BroadcastWeight, AllreduceWeight int
+	// Arrival and MeanGapMicros pace every tenant's stream.
+	Arrival       ArrivalKind
+	MeanGapMicros float64
+	// Algorithm picks the collective schedule (default Dissemination).
+	Algorithm Algorithm
+}
+
+// TenantStats summarizes one tenant's stream in a workload result.
+type TenantStats struct {
+	Tenant    int
+	GroupSize int
+	Operation string // "barrier", "broadcast", "allreduce"
+	Ops       int
+	// Per-operation latency statistics, simulated microseconds, measured
+	// from eligibility (arrival, or previous completion plus think time)
+	// to global completion.
+	MeanMicros, P50Micros, P95Micros, P99Micros, MaxMicros float64
+	// OpsPerSec is the tenant's throughput over virtual time.
+	OpsPerSec float64
+}
+
+// WorkloadResult aggregates one multi-tenant run.
+type WorkloadResult struct {
+	Tenants  []TenantStats
+	TotalOps int
+	// MakespanMicros is the virtual time at which the last tenant
+	// finished.
+	MakespanMicros float64
+	// AggregateOpsPerSec is total operations over the makespan, in
+	// operations per simulated second — the throughput the paper's
+	// per-group queues buy.
+	AggregateOpsPerSec float64
+	// Fairness is Jain's index over per-tenant throughputs (1.0 =
+	// perfectly even service).
+	Fairness float64
+	// Wire accounting over the whole run.
+	Packets, DroppedPackets uint64
+}
+
+func (s WorkloadSpec) internal(seed uint64) comm.WorkloadSpec {
+	return comm.WorkloadSpec{
+		Tenants:      s.Tenants,
+		OpsPerTenant: s.OpsPerTenant,
+		GroupSizeMin: s.GroupSizeMin,
+		GroupSizeMax: s.GroupSizeMax,
+		Overlap:      s.Overlap,
+		Mix: comm.OpMix{
+			Barrier:   s.BarrierWeight,
+			Broadcast: s.BroadcastWeight,
+			Allreduce: s.AllreduceWeight,
+		},
+		Arrival: comm.ArrivalSpec{
+			Kind:      comm.ArrivalKind(s.Arrival),
+			MeanGapUS: s.MeanGapMicros,
+		},
+		Algorithm: s.Algorithm.internal(),
+		Seed:      seed,
+	}
+}
+
+// RunWorkload generates and runs spec's tenants concurrently on this
+// cluster. Randomness (membership, mix assignment, arrival draws)
+// derives from the cluster Config's Seed; runs are bit-deterministic.
+func (c *Cluster) RunWorkload(spec WorkloadSpec) (WorkloadResult, error) {
+	res, err := comm.RunWorkload(c.c, spec.internal(c.cfg.Seed))
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	out := WorkloadResult{
+		TotalOps:           res.TotalOps,
+		MakespanMicros:     res.MakespanUS,
+		AggregateOpsPerSec: res.AggOpsPerSec,
+		Fairness:           res.Fairness,
+		Packets:            res.Sent,
+		DroppedPackets:     res.Dropped,
+	}
+	for _, tr := range res.Tenants {
+		out.Tenants = append(out.Tenants, TenantStats{
+			Tenant:     tr.Tenant,
+			GroupSize:  tr.Size,
+			Operation:  tr.Kind.String(),
+			Ops:        tr.Ops,
+			MeanMicros: tr.MeanUS,
+			P50Micros:  tr.P50US,
+			P95Micros:  tr.P95US,
+			P99Micros:  tr.P99US,
+			MaxMicros:  tr.MaxUS,
+			OpsPerSec:  tr.OpsPerSec,
+		})
+	}
+	return out, nil
+}
+
+// MeasureWorkload builds a fresh cluster from cfg and runs one
+// multi-tenant workload on it — the one-shot form of
+// NewCluster + RunWorkload. cfg's Scheme is ignored: workload tenants
+// run the paper's NIC-collective protocol (chained RDMA on Quadrics).
+func MeasureWorkload(cfg Config, spec WorkloadSpec) (WorkloadResult, error) {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	return c.RunWorkload(spec)
+}
