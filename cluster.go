@@ -35,14 +35,55 @@ type Cluster struct {
 	c   *comm.Cluster
 }
 
+// AdmissionPolicy decides what a group install does when a member NIC's
+// group slots are exhausted.
+type AdmissionPolicy int
+
+// Admission policies.
+const (
+	// AdmitError fails the install cleanly (the default and the
+	// historical behavior).
+	AdmitError AdmissionPolicy = iota
+	// AdmitQueue defers the install until a Group.Close frees the slots
+	// it needs; deferred installs are served strictly FIFO.
+	AdmitQueue
+	// AdmitSpread re-places the group on the member NICs with the most
+	// free slots.
+	AdmitSpread
+	// AdmitPack re-places the group on the fullest NICs that still have
+	// a free slot.
+	AdmitPack
+)
+
+// String implements fmt.Stringer.
+func (p AdmissionPolicy) String() string { return comm.AdmitPolicy(p).String() }
+
+// AdmissionConfig configures a Cluster's admission controller.
+type AdmissionConfig struct {
+	Policy AdmissionPolicy
+	// ChargeInstallCosts charges the hardware profile's GroupInstallCost
+	// on member NICs' simulated timelines at install. Teardown cost is
+	// always charged by Close — teardown is inherently a live-cluster
+	// operation; only the install side has a free setup phase.
+	ChargeInstallCosts bool
+}
+
+func (a AdmissionConfig) internal() comm.AdmissionConfig {
+	return comm.AdmissionConfig{
+		Policy:           comm.AdmitPolicy(a.Policy),
+		ChargeSetupCosts: a.ChargeInstallCosts,
+	}
+}
+
 // NewCluster builds a simulated cluster from cfg (Nodes, Interconnect,
-// LossRate, Faults, Seed). The Scheme and Algorithm fields set the
-// default for groups created on it.
+// LossRate, Faults, Admission, Seed). The Scheme and Algorithm fields
+// set the default for groups created on it.
 func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	eng := sim.NewEngine()
+	var cc *comm.Cluster
 	switch cfg.Interconnect {
 	case MyrinetLANai91, MyrinetLANaiXP:
 		var loss netsim.LossModel
@@ -51,16 +92,18 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		cl := myrinet.NewCluster(eng, myrinetProfile(cfg.Interconnect), cfg.Nodes, loss)
 		applyMyrinetFaults(cfg, cl)
-		return &Cluster{cfg: cfg, c: comm.OverMyrinet(cl)}, nil
+		cc = comm.OverMyrinet(cl)
 	case QuadricsElan3:
 		cl := elan.NewCluster(eng, hwprofile.Elan3Cluster(), cfg.Nodes)
 		if plan := compileFaults(cfg.Faults, cfg.Seed, cl.Prof.Net.BandwidthMBps); plan != nil {
 			cl.SetFaults(plan)
 		}
-		return &Cluster{cfg: cfg, c: comm.OverElan(cl)}, nil
+		cc = comm.OverElan(cl)
 	default:
 		return nil, fmt.Errorf("nicbarrier: unknown interconnect %d", int(cfg.Interconnect))
 	}
+	cc.SetAdmission(cfg.Admission.internal())
+	return &Cluster{cfg: cfg, c: cc}, nil
 }
 
 // Group is one communicator on a shared Cluster: a node subset with its
@@ -71,6 +114,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 type Group struct {
 	c       *Cluster
 	members []int
+	closed  bool
 
 	barrierG *comm.Group
 	bcastG   map[[2]int]*comm.Group
@@ -101,6 +145,36 @@ func (c *Cluster) NewGroup(members []int) (*Group, error) {
 // Size reports the number of ranks in the group.
 func (g *Group) Size() int { return len(g.members) }
 
+// Close tears the group down, releasing every NIC group-queue slot its
+// collective shapes claimed (one per distinct barrier, broadcast tree
+// and allreduce operator it ran) back to the cluster — the teardown
+// cost charged on the member NICs. Runs in flight drain first; under
+// the queueing admission policy the freed slots immediately serve
+// deferred installs. Closing an unused or already-closed group is a
+// no-op. The group cannot run collectives afterwards.
+func (g *Group) Close() error {
+	if g.barrierG != nil {
+		if err := g.barrierG.Close(); err != nil {
+			return err
+		}
+		g.barrierG = nil
+	}
+	for key, cg := range g.bcastG {
+		if err := cg.Close(); err != nil {
+			return err
+		}
+		delete(g.bcastG, key)
+	}
+	for op, cg := range g.reduceG {
+		if err := cg.Close(); err != nil {
+			return err
+		}
+		delete(g.reduceG, op)
+	}
+	g.closed = true
+	return nil
+}
+
 // schemes maps the public scheme to the backend selector.
 func (c *Cluster) commSchemes() (myrinet.Scheme, elan.Scheme, error) {
 	quadrics := c.cfg.Interconnect == QuadricsElan3
@@ -125,6 +199,9 @@ func (c *Cluster) commSchemes() (myrinet.Scheme, elan.Scheme, error) {
 // are untouched and may run their own operations concurrently via
 // MeasureWorkload-style driving.
 func (g *Group) Barrier(warmup, iters int) (Result, error) {
+	if g.closed {
+		return Result{}, fmt.Errorf("nicbarrier: group is closed")
+	}
 	if err := checkLoop(warmup, iters); err != nil {
 		return Result{}, err
 	}
@@ -150,12 +227,18 @@ func (g *Group) Barrier(warmup, iters int) (Result, error) {
 		}
 		g.barrierG = cg
 	}
+	if err := runnable(g.barrierG); err != nil {
+		return Result{}, err
+	}
 	return g.c.measure(g.barrierG, warmup, iters), nil
 }
 
 // Broadcast runs warmup+iters NIC-based broadcasts from root down a
 // degree-ary tree (Myrinet clusters only).
 func (g *Group) Broadcast(root, degree, warmup, iters int) (Result, error) {
+	if g.closed {
+		return Result{}, fmt.Errorf("nicbarrier: group is closed")
+	}
 	if err := checkLoop(warmup, iters); err != nil {
 		return Result{}, err
 	}
@@ -186,6 +269,9 @@ func (g *Group) Broadcast(root, degree, warmup, iters int) (Result, error) {
 		}
 		g.bcastG[key] = cg
 	}
+	if err := runnable(cg); err != nil {
+		return Result{}, err
+	}
 	return g.c.measure(cg, warmup, iters), nil
 }
 
@@ -197,6 +283,9 @@ func allreduceContrib(rank, iter int) int64 { return int64(rank*131 + iter*17 - 
 // given operator (Myrinet clusters only), self-checking every
 // iteration's result on every rank against the reference reduction.
 func (g *Group) Allreduce(op ReduceOperator, warmup, iters int) (Result, error) {
+	if g.closed {
+		return Result{}, fmt.Errorf("nicbarrier: group is closed")
+	}
 	if err := checkLoop(warmup, iters); err != nil {
 		return Result{}, err
 	}
@@ -222,6 +311,9 @@ func (g *Group) Allreduce(op ReduceOperator, warmup, iters int) (Result, error) 
 		}
 		g.reduceG[op] = cg
 	}
+	if err := runnable(cg); err != nil {
+		return Result{}, err
+	}
 	res := g.c.measure(cg, warmup, iters)
 	for iter, row := range cg.Results() {
 		want := allreduceContrib(0, iter)
@@ -245,11 +337,26 @@ func checkLoop(warmup, iters int) error {
 	return nil
 }
 
+// runnable rejects exclusive runs on a group whose install is still
+// queued behind full NICs: an exclusive measurement loop never closes
+// other groups, so the install would wait forever.
+func runnable(cg *comm.Group) error {
+	if !cg.Installed() {
+		return fmt.Errorf("nicbarrier: group install is queued awaiting free NIC slots; close another group first")
+	}
+	return nil
+}
+
 // measure drives one comm group exclusively for warmup+iters operations
 // and assembles a Result from counter deltas, so repeated measurements
 // on a shared cluster stay independent. On a fresh cluster the deltas
 // equal the absolutes, which keeps the one-shot Measure* wrappers
 // bit-identical to their historical behavior.
+//
+// A group whose install is still queued (AdmitQueue on a full NIC)
+// cannot be driven exclusively — nothing in an exclusive run will free
+// the slots it waits for — so callers error out before reaching here
+// (see runnable).
 func (c *Cluster) measure(cg *comm.Group, warmup, iters int) Result {
 	sent0, dropped0, retrans0 := c.counters()
 	t0 := c.c.Eng.Now()

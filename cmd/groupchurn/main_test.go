@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListScenarios(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"queue-crunch", "reconfigure-heavy", "spread-placement", "quadrics-churn", "think-time-mix"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunQueueCrunch(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-scenario", "queue-crunch", "-tenants", "20", "-ops", "5"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "completed  20 tenants") {
+		t.Errorf("unexpected completion line:\n%s", s)
+	}
+	if !strings.Contains(s, "installs") || !strings.Contains(s, "queued") {
+		t.Errorf("missing lifecycle/admission lines:\n%s", s)
+	}
+}
+
+func TestAllScenarios(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-all", "-tenants", "12", "-ops", "4"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if got := strings.Count(out.String(), "note:"); got != 5 {
+		t.Errorf("ran %d scenarios, want 5:\n%s", got, out.String())
+	}
+}
+
+func TestBadFlagsAndScenario(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-scenario", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown scenario exit %d", code)
+	}
+	if code := realMain(nil, &out, &errb); code != 1 {
+		t.Fatalf("no selection exit %d", code)
+	}
+	if code := realMain([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit %d", code)
+	}
+}

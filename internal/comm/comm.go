@@ -2,17 +2,26 @@
 // the simulated interconnects. Where the measurement sessions in
 // internal/myrinet and internal/elan drive one process group at a time,
 // a comm.Cluster multiplexes many Groups over one cluster: each group
-// claims its own NIC group-queue slot (a hard SRAM resource — creation
-// fails cleanly when a member NIC is full), owns its own bit-vector
-// records and sequence space, and completes independently, exactly the
-// concurrency the paper's per-group queues were designed for. Contention
-// between tenants arises naturally from the substrates: the single NIC
-// firmware processor serializes handlers of co-resident groups, and
-// netsim's link occupancy charges worms that share trunks.
+// claims its own NIC group-queue slot (a hard SRAM resource), owns its
+// own bit-vector records and sequence space, and completes independently,
+// exactly the concurrency the paper's per-group queues were designed for.
+// Contention between tenants arises naturally from the substrates: the
+// single NIC firmware processor serializes handlers of co-resident
+// groups, and netsim's link occupancy charges worms that share trunks.
+//
+// Groups are a full lifecycle, not a one-way allocation: Close drains
+// and uninstalls a group, returning its slots (teardown cost charged on
+// the member NICs), Reconfigure swaps a group's membership via
+// install-new/handoff-sequence/uninstall-old, and the admission
+// controller in sched.go decides what happens when slots run out —
+// error, queue until a departure frees them, or re-place the group on
+// members with capacity (see AdmissionConfig).
 //
 // On top, workload.go generates open- and closed-loop streams of
-// collective operations from N tenants and reports throughput of virtual
-// time, per-tenant latency percentiles and fairness.
+// collective operations from N tenants (RunWorkload) and churns whole
+// tenants through arrive/run/depart/reconfigure lifecycles (RunChurn),
+// reporting throughput of virtual time, per-tenant latency percentiles,
+// fairness and admission statistics.
 package comm
 
 import (
@@ -51,13 +60,15 @@ func (k OpKind) String() string {
 
 // session is the slice of the backend sessions the communicator drives:
 // launch without running the engine, poll completion, read per-iteration
-// completion times.
+// completion times, tear down.
 type session interface {
 	Launch(iters int)
 	Done() bool
 	DoneAt() []sim.Time
 	Run(iters int) []sim.Time
 	Reset()
+	Close()
+	ChargeInstall()
 }
 
 // Cluster multiplexes process groups over one simulated cluster. Exactly
@@ -71,16 +82,21 @@ type Cluster struct {
 
 	nextGID core.GroupID
 	groups  []*Group
+	sched   *sched
 }
 
 // OverMyrinet builds a communicator layer over a Myrinet cluster.
 func OverMyrinet(cl *myrinet.Cluster) *Cluster {
-	return &Cluster{Eng: cl.Eng, My: cl, nextGID: myrinet.SessionGroupID}
+	c := &Cluster{Eng: cl.Eng, My: cl, nextGID: myrinet.SessionGroupID}
+	c.sched = newSched(c, cl.Prof.NIC.GroupQueueSlots)
+	return c
 }
 
 // OverElan builds a communicator layer over a Quadrics cluster.
 func OverElan(cl *elan.Cluster) *Cluster {
-	return &Cluster{Eng: cl.Eng, El: cl, nextGID: elan.SessionGroupID}
+	c := &Cluster{Eng: cl.Eng, El: cl, nextGID: elan.SessionGroupID}
+	c.sched = newSched(c, cl.Prof.NIC.ChainSlots)
+	return c
 }
 
 // Nodes reports the underlying cluster size.
@@ -91,7 +107,8 @@ func (c *Cluster) Nodes() int {
 	return len(c.El.Nodes)
 }
 
-// Groups returns every group created so far, in creation order.
+// Groups returns every group created so far, in creation order
+// (including closed and still-queued ones).
 func (c *Cluster) Groups() []*Group { return c.groups }
 
 // GroupConfig describes one communicator to create.
@@ -125,16 +142,48 @@ type GroupConfig struct {
 // group-queue slot, bit-vector records and sequence space. Groups on one
 // Cluster run concurrently; each is driven either exclusively (Run) or
 // as part of a workload (Launch + the cluster-level drive loop).
+//
+// A group's lifecycle is install -> run(s) -> Close (or Reconfigure
+// between runs). Under the queueing admission policy a group may exist
+// before it is installed: ID stays 0 and Launch is deferred until a
+// departure frees the slots it needs.
 type Group struct {
 	c       *Cluster
 	ID      core.GroupID
 	Members []int
 	Kind    OpKind
 
+	// gc is the configuration the group was admitted with, with Members
+	// tracking placement and reconfiguration; Reconfigure reuses it.
+	gc GroupConfig
+
 	sess      session
 	launched  bool
+	closed    bool
+	closing   bool // Close requested while a run was in flight
 	setNextAt func(func(rank, next int) sim.Time)
 	setOnDone func(func(iter int, at sim.Time))
+
+	// userOnDone is the workload engine's completion observer,
+	// multiplexed under the group's own onIterDone.
+	userOnDone func(iter int, at sim.Time)
+
+	// pendingIters holds a Launch that arrived while the install was
+	// still queued; it replays when the scheduler installs the group.
+	pendingIters int
+	// queuedAt/installedAt record admission timing for the queueing
+	// policy's wait statistics; queueWaitUS is the served wait, frozen
+	// when the deferred install lands (installedAt moves again on
+	// Reconfigure, the wait must not).
+	queuedAt    sim.Time
+	installedAt sim.Time
+	queueWaitUS float64
+
+	// opsDone counts globally completed operations across runs AND
+	// reconfigurations — the group-level sequence the handoff preserves
+	// when membership swaps (each backend session numbers its own
+	// operations from 0; the group keeps the cumulative count).
+	opsDone int
 
 	// results exposes allreduce outcomes (nil otherwise).
 	results func() [][]int64
@@ -144,32 +193,27 @@ type Group struct {
 }
 
 // NewGroup creates a communicator over the given members, installing its
-// group-queue entry on every member NIC. It fails cleanly — with the
-// cluster left untouched — when a member NIC's slots are exhausted, a
-// member list is invalid, or the op/operator combination cannot be exact.
+// group-queue entry on every member NIC. When a member NIC's slots are
+// exhausted the admission policy decides the outcome: fail cleanly with
+// the cluster untouched (AdmitError, the default), queue the install
+// until a Close frees slots (AdmitQueue), or place the group on
+// alternate members with free slots (AdmitSpread/AdmitPack). Invalid
+// member lists and inexact op/operator combinations always fail.
 func (c *Cluster) NewGroup(gc GroupConfig) (*Group, error) {
 	if len(gc.Members) < 1 {
 		return nil, fmt.Errorf("comm: empty group")
 	}
-	gid := c.nextGID
-	g := &Group{c: c, ID: gid, Members: append([]int(nil), gc.Members...), Kind: gc.Kind}
-	switch {
-	case c.My != nil:
-		if err := g.bindMyrinet(gc, gid); err != nil {
-			return nil, err
-		}
-	case c.El != nil:
-		if err := g.bindElan(gc, gid); err != nil {
-			return nil, err
-		}
-	default:
-		panic("comm: cluster without backend")
+	g := &Group{c: c, Kind: gc.Kind}
+	if err := c.sched.admit(g, gc); err != nil {
+		return nil, err
 	}
-	c.nextGID++
 	c.groups = append(c.groups, g)
 	return g, nil
 }
 
+// bindMyrinet and bindElan construct the backend session for gc under
+// group ID gid, writing g.sess and the hook setters on success and
+// leaving g untouched on failure.
 func (g *Group) bindMyrinet(gc GroupConfig, gid core.GroupID) error {
 	cl := g.c.My
 	switch gc.Kind {
@@ -226,11 +270,68 @@ func (g *Group) bindElan(gc GroupConfig, gid core.GroupID) error {
 	g.sess = s
 	g.setNextAt = func(fn func(rank, next int) sim.Time) { s.NextAt = fn }
 	g.setOnDone = func(fn func(iter int, at sim.Time)) { s.OnIterDone = fn }
+	g.results = nil
 	return nil
+}
+
+// attach wires the group's completion multiplexer and pacing hooks into
+// a freshly bound session; called after every install (initial, queued,
+// or reconfiguration).
+func (g *Group) attach() {
+	g.setOnDone(g.onIterDone)
+	if g.pace.active() {
+		g.setNextAt(g.pace.nextAt)
+	}
+}
+
+// onIterDone observes every globally completed operation: it advances
+// the group-level sequence, forwards to the workload engine's observer,
+// and finalizes a deferred Close once the run has drained.
+func (g *Group) onIterDone(iter int, at sim.Time) {
+	g.opsDone++
+	if g.userOnDone != nil {
+		g.userOnDone(iter, at)
+	}
+	if g.closing && g.sess.Done() {
+		g.finalizeClose()
+	}
+}
+
+// SetOnIterDone registers fn to observe each operation's global
+// completion (all members done) at the virtual time it happens; nil
+// unregisters. Workload engines drive departures and reconfigurations
+// from this hook.
+func (g *Group) SetOnIterDone(fn func(iter int, at sim.Time)) { g.userOnDone = fn }
+
+// applyPace (re)installs the group's pacer as the session's NextAt gate;
+// safe to call while the install is still queued (attach applies it when
+// the session materializes).
+func (g *Group) applyPace() {
+	if g.sess != nil && g.pace.active() {
+		g.setNextAt(g.pace.nextAt)
+	}
 }
 
 // Size reports the number of ranks in the group.
 func (g *Group) Size() int { return len(g.Members) }
+
+// Installed reports whether the group holds its NIC resources (false
+// while an AdmitQueue install waits for slots, and after Close).
+func (g *Group) Installed() bool { return g.sess != nil && !g.closed }
+
+// Closed reports whether the group has been torn down.
+func (g *Group) Closed() bool { return g.closed }
+
+// OpsCompleted is the group-level operation sequence: how many
+// operations completed globally across runs and reconfigurations. The
+// membership handoff preserves it — a group that runs 10 ops,
+// reconfigures, and runs 10 more reports 20.
+func (g *Group) OpsCompleted() int { return g.opsDone }
+
+// QueueWaitUS reports how long the group's install waited in the
+// admission queue, in simulated microseconds (0 for immediate installs;
+// valid once Installed).
+func (g *Group) QueueWaitUS() float64 { return g.queueWaitUS }
 
 // Run executes iters consecutive operations exclusively: the engine is
 // driven until the group finishes. It returns per-iteration completion
@@ -238,19 +339,45 @@ func (g *Group) Size() int { return len(g.Members) }
 // (and identical virtual-time behavior) to the one-shot measurement
 // sessions it wraps.
 func (g *Group) Run(iters int) []sim.Time {
+	if g.closed {
+		panic("comm: Run on a closed group")
+	}
+	if g.sess == nil {
+		panic("comm: Run on a queued group (drive the cluster until it installs)")
+	}
 	g.launched = true
 	return g.sess.Run(iters)
 }
 
 // Launch posts the group's first operation without driving the engine;
-// the caller multiplexes several launched groups with DriveAll.
+// the caller multiplexes several launched groups with DriveAll. On a
+// group whose install is still queued, the launch is recorded and
+// replayed the moment the scheduler installs it.
 func (g *Group) Launch(iters int) {
+	if g.closed {
+		panic("comm: Launch on a closed group")
+	}
+	if iters < 1 {
+		panic(fmt.Sprintf("comm: Launch iterations %d", iters))
+	}
+	if g.sess == nil {
+		// Same loud double-launch contract as the installed path: a
+		// second Launch would silently overwrite the recorded replay.
+		if g.launched {
+			panic("comm: group launched twice (Reset between runs)")
+		}
+		g.launched = true
+		g.pendingIters = iters
+		return
+	}
 	g.launched = true
 	g.sess.Launch(iters)
 }
 
 // Done reports whether every launched operation completed.
-func (g *Group) Done() bool { return g.sess.Done() }
+func (g *Group) Done() bool {
+	return g.sess != nil && g.pendingIters == 0 && g.sess.Done()
+}
 
 // DoneAt returns per-iteration completion times (valid once Done).
 func (g *Group) DoneAt() []sim.Time { return g.sess.DoneAt() }
@@ -260,8 +387,83 @@ func (g *Group) DoneAt() []sim.Time { return g.sess.DoneAt() }
 // only the run bookkeeping clears (DriveAll no longer waits on the
 // group until it launches again).
 func (g *Group) Reset() {
+	if g.sess == nil {
+		panic("comm: Reset on a queued group (its install has not been served)")
+	}
 	g.sess.Reset()
 	g.launched = false
+}
+
+// Close tears the group down, freeing its NIC group-queue slots for
+// future installs (the teardown cost charged on each member NIC's
+// processor). If a run is still in flight the close is deferred until
+// the launched operations drain — the slots are freed at the completion
+// of the last one. Closing an already-closed group is a no-op; closing
+// a still-queued group simply withdraws it from the admission queue.
+// Freed slots immediately unblock queued installs.
+func (g *Group) Close() error {
+	if g.closed {
+		return nil
+	}
+	if g.sess == nil {
+		g.c.sched.withdraw(g)
+		g.closed = true
+		return nil
+	}
+	if g.launched && !g.sess.Done() {
+		g.closing = true
+		return nil
+	}
+	g.finalizeClose()
+	return nil
+}
+
+// finalizeClose performs the actual teardown; the run has drained.
+func (g *Group) finalizeClose() {
+	g.closing = false
+	g.closed = true
+	g.sess.Close()
+	g.c.sched.release(g.gc, g.Members)
+}
+
+// Reconfigure swaps the group's membership to newMembers, implemented as
+// the protocol-honest install-new/handoff-sequence/uninstall-old: the
+// bit-vector records assume fixed membership, so the swap installs a
+// fresh group (new group ID, fresh NIC slots on the new members), hands
+// the group-level operation sequence over (OpsCompleted keeps counting
+// across the swap; the new session numbers its own operations from 0),
+// and uninstalls the old group's slots. Make-before-break means a node
+// in both memberships transiently needs two slots; if any new-member NIC
+// cannot take the install, the group is left untouched on its old
+// membership and the error returned. The group must be idle — between
+// runs, with launched operations drained.
+func (g *Group) Reconfigure(newMembers []int) error {
+	if g.closed {
+		return fmt.Errorf("comm: Reconfigure on a closed group")
+	}
+	if g.sess == nil {
+		return fmt.Errorf("comm: Reconfigure on a queued group (wait for its install)")
+	}
+	if g.launched && !g.sess.Done() {
+		return fmt.Errorf("comm: Reconfigure mid-run (drain the launched operations first)")
+	}
+	if len(newMembers) < 1 {
+		return fmt.Errorf("comm: Reconfigure to an empty membership")
+	}
+	gc := g.gc
+	gc.Members = newMembers
+	if err := g.c.sched.preflight(gc); err != nil {
+		return err
+	}
+	oldSess, oldGC, oldMembers, oldID := g.sess, g.gc, g.Members, g.ID
+	if err := g.c.sched.install(g, gc); err != nil {
+		g.sess, g.gc, g.Members, g.ID = oldSess, oldGC, oldMembers, oldID
+		return err
+	}
+	g.launched = false
+	oldSess.Close()
+	g.c.sched.release(oldGC, oldMembers)
+	return nil
 }
 
 // Results returns allreduce outcomes per iteration and rank; nil for
@@ -275,13 +477,14 @@ func (g *Group) Results() [][]int64 {
 
 // DriveAll runs the engine until every *launched* group completes,
 // panicking with a per-group diagnostic if the simulation deadlocks
-// (e.g. a fault plan crashed a member for good). Groups that were
-// created but never launched — e.g. the survivors of a workload setup
-// that failed partway — are not waited on.
+// (e.g. a fault plan crashed a member for good, or queued installs wait
+// on slots nothing will free). Groups that were created but never
+// launched — e.g. the survivors of a workload setup that failed partway
+// — are not waited on; neither are closed groups.
 func (c *Cluster) DriveAll() {
 	done := func() bool {
 		for _, g := range c.groups {
-			if g.launched && !g.Done() {
+			if g.launched && !g.closed && !g.Done() {
 				return false
 			}
 		}
@@ -289,11 +492,16 @@ func (c *Cluster) DriveAll() {
 	}
 	if !c.Eng.RunCondition(done) {
 		var stuck []core.GroupID
+		var queued int
 		for _, g := range c.groups {
-			if g.launched && !g.Done() {
+			if g.launched && !g.closed && !g.Done() {
 				stuck = append(stuck, g.ID)
+				if g.sess == nil {
+					queued++
+				}
 			}
 		}
-		panic(fmt.Sprintf("comm: workload deadlocked; groups %v incomplete", stuck))
+		panic(fmt.Sprintf("comm: workload deadlocked; groups %v incomplete (%d still queued for slots)",
+			stuck, queued))
 	}
 }

@@ -69,11 +69,25 @@ type WorkloadSpec struct {
 	Mix OpMix
 	// Arrival paces every tenant's stream.
 	Arrival ArrivalSpec
+	// PerTenantGapUS overrides Arrival.MeanGapUS for individual tenants
+	// (index = tenant; 0 or out of range inherits the global gap), so
+	// one workload can mix hot tenants hammering the cluster with cold
+	// ones trickling — the shape churn and SLO experiments need. The
+	// arrival kind stays global.
+	PerTenantGapUS []float64
 	// Algorithm picks the schedule for barrier/allreduce tenants
 	// (zero value: dissemination, as in the paper).
 	Algorithm barrier.Algorithm
 	// Seed drives membership, mix assignment and arrival draws.
 	Seed uint64
+}
+
+// gapFor resolves tenant t's mean arrival/think gap.
+func (s WorkloadSpec) gapFor(t int) float64 {
+	if t < len(s.PerTenantGapUS) && s.PerTenantGapUS[t] > 0 {
+		return s.PerTenantGapUS[t]
+	}
+	return s.Arrival.MeanGapUS
 }
 
 func (s WorkloadSpec) validate(nodes int) error {
@@ -101,8 +115,17 @@ func (s WorkloadSpec) validate(nodes int) error {
 	if s.Arrival.MeanGapUS < 0 {
 		return fmt.Errorf("comm: MeanGapUS = %v", s.Arrival.MeanGapUS)
 	}
-	if s.Arrival.Kind == OpenLoop && s.Arrival.MeanGapUS <= 0 {
-		return fmt.Errorf("comm: open-loop arrivals need MeanGapUS > 0")
+	for t, gap := range s.PerTenantGapUS {
+		if gap < 0 {
+			return fmt.Errorf("comm: PerTenantGapUS[%d] = %v", t, gap)
+		}
+	}
+	if s.Arrival.Kind == OpenLoop {
+		for t := 0; t < s.Tenants; t++ {
+			if s.gapFor(t) <= 0 {
+				return fmt.Errorf("comm: open-loop arrivals need a positive mean gap (tenant %d has none)", t)
+			}
+		}
 	}
 	return nil
 }
@@ -119,6 +142,10 @@ type pacer struct {
 	// and arrivals are unset (back-to-back chaining).
 	think []sim.Duration
 }
+
+// active reports whether the pacer shapes anything (an inactive pacer
+// means back-to-back chaining, the session default).
+func (p *pacer) active() bool { return p.arrivals != nil || p.think != nil }
 
 // nextAt is the session gate: the earliest virtual time iteration next
 // may post on this rank. Allocation-free.
@@ -240,30 +267,29 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 		// Precompute the arrival process so steady-state dispatch is
 		// allocation- and RNG-free.
 		g.pace.eng = c.Eng
+		gap := spec.gapFor(t)
 		elig := make([]sim.Time, spec.OpsPerTenant)
 		switch spec.Arrival.Kind {
 		case OpenLoop:
 			arr := make([]sim.Time, spec.OpsPerTenant)
 			var at sim.Time
 			for k := range arr {
-				at = at.Add(expGap(rng, spec.Arrival.MeanGapUS))
+				at = at.Add(expGap(rng, gap))
 				arr[k] = at
 				elig[k] = at
 			}
 			g.pace.arrivals = arr
 		case ClosedLoop:
-			if spec.Arrival.MeanGapUS > 0 {
+			if gap > 0 {
 				think := make([]sim.Duration, spec.OpsPerTenant)
 				for k := range think {
-					think[k] = expGap(rng, spec.Arrival.MeanGapUS)
+					think[k] = expGap(rng, gap)
 				}
 				g.pace.think = think
 			}
 		}
 		eligible[t] = elig
-		if g.pace.arrivals != nil || g.pace.think != nil {
-			g.setNextAt(g.pace.nextAt)
-		}
+		g.applyPace()
 	}
 
 	for _, g := range groups {
@@ -369,6 +395,259 @@ func verifyAllreduce(g *Group) error {
 		}
 	}
 	return nil
+}
+
+// ChurnSpec describes a tenant-churn workload: tenants arrive over
+// virtual time on a Poisson process, each installs a group (through the
+// admission controller), runs a stream of barriers, optionally
+// reconfigures its membership halfway, and departs — closing the group
+// and returning its NIC slots. Cumulative installs deliberately exceed
+// any NIC's slot count, so the run only completes if teardown really
+// reclaims slots (and, under AdmitQueue, if deferred installs really get
+// served).
+type ChurnSpec struct {
+	// Tenants is the total number of tenants over the run; OpsPerTenant
+	// the barrier operations each runs before departing.
+	Tenants, OpsPerTenant int
+	// GroupSizeMin/Max bound each tenant's group size, drawn uniformly.
+	// Both zero defaults to [2, min(4, nodes)]. Members are drawn
+	// randomly (tenants overlap), which is what makes individual NICs
+	// run out of slots.
+	GroupSizeMin, GroupSizeMax int
+	// MeanArrivalGapUS is the mean gap between tenant arrivals
+	// (exponential); 0 makes every tenant arrive at t=0.
+	MeanArrivalGapUS float64
+	// MeanThinkUS adds an exponential think time between a tenant's
+	// operations (0: back-to-back).
+	MeanThinkUS float64
+	// ReconfigureEvery makes every k-th tenant swap to a fresh random
+	// membership after half its operations (0: never). A failed swap
+	// (no slots on the new members) keeps the old membership and is
+	// counted, not fatal.
+	ReconfigureEvery int
+	// Policy and ChargeSetupCosts configure the admission controller for
+	// the run; churn workloads usually want AdmitQueue and charged
+	// install costs (lifecycle on a live cluster).
+	Policy           AdmitPolicy
+	ChargeSetupCosts bool
+	// Algorithm picks the barrier schedule (zero: dissemination).
+	Algorithm barrier.Algorithm
+	// Seed drives arrivals, sizes, memberships and think times.
+	Seed uint64
+}
+
+func (s ChurnSpec) validate(nodes int) error {
+	if s.Tenants < 1 {
+		return fmt.Errorf("comm: churn Tenants = %d", s.Tenants)
+	}
+	if s.OpsPerTenant < 1 {
+		return fmt.Errorf("comm: churn OpsPerTenant = %d", s.OpsPerTenant)
+	}
+	min, max := s.sizeBounds(nodes)
+	if min < 2 || max < min || max > nodes {
+		return fmt.Errorf("comm: churn group size bounds [%d, %d] on %d nodes", min, max, nodes)
+	}
+	if s.MeanArrivalGapUS < 0 || s.MeanThinkUS < 0 {
+		return fmt.Errorf("comm: negative churn gap")
+	}
+	if s.ReconfigureEvery < 0 {
+		return fmt.Errorf("comm: ReconfigureEvery = %d", s.ReconfigureEvery)
+	}
+	return nil
+}
+
+func (s ChurnSpec) sizeBounds(nodes int) (min, max int) {
+	min, max = s.GroupSizeMin, s.GroupSizeMax
+	if min == 0 && max == 0 {
+		min = 2
+		max = 4
+		if max > nodes {
+			max = nodes
+		}
+	}
+	return min, max
+}
+
+// ChurnResult aggregates one churn run.
+type ChurnResult struct {
+	// Tenants were offered; Completed ran all their operations and
+	// departed (they are equal unless the run errored).
+	Tenants, Completed int
+	TotalOps           int
+	// MakespanUS is the virtual time of the last departure.
+	MakespanUS float64
+	// AggOpsPerSec is TotalOps over the makespan.
+	AggOpsPerSec float64
+	// Admission accounting (see AdmissionStats): installs include
+	// reconfiguration reinstalls, QueuedInstalls counts installs that
+	// had to wait for a departure, SlotHighWater the busiest NIC moment.
+	Installs, Uninstalls, QueuedInstalls, MaxQueueLen, SlotHighWater int
+	// QueueWaitMeanUS/P95US summarize how long queued installs waited.
+	QueueWaitMeanUS, QueueWaitP95US float64
+	// Reconfigs counts successful membership swaps; ReconfigsFailed the
+	// swaps refused for lack of slots on the new members.
+	Reconfigs, ReconfigsFailed int
+	// Wire accounting over the whole run.
+	Sent, Dropped uint64
+}
+
+// churnTenant is one tenant's precomputed lifecycle.
+type churnTenant struct {
+	idx       int
+	arriveAt  sim.Time
+	members   []int
+	newMembrs []int // reconfiguration target; nil when the tenant never swaps
+	think     []sim.Duration
+	g         *Group
+	target    int // run-local final iteration of the current run
+	swapped   bool
+}
+
+// RunChurn executes spec's tenant churn on the cluster and reports
+// throughput, admission and lifecycle statistics. All randomness derives
+// from spec.Seed; runs are bit-deterministic. It returns an error when a
+// tenant's install fails under the configured policy (AdmitError on a
+// full NIC, a queued install that can never be served) — under
+// AdmitQueue with departing tenants the run completes by construction.
+func RunChurn(c *Cluster, spec ChurnSpec) (ChurnResult, error) {
+	nodes := c.Nodes()
+	if err := spec.validate(nodes); err != nil {
+		return ChurnResult{}, err
+	}
+	c.SetAdmission(AdmissionConfig{Policy: spec.Policy, ChargeSetupCosts: spec.ChargeSetupCosts})
+	rng := sim.NewRNG(spec.Seed ^ 0xc42917)
+	minSize, maxSize := spec.sizeBounds(nodes)
+
+	tenants := make([]*churnTenant, spec.Tenants)
+	var at sim.Time
+	for t := range tenants {
+		if spec.MeanArrivalGapUS > 0 {
+			at = at.Add(expGap(rng, spec.MeanArrivalGapUS))
+		}
+		size := minSize + rng.Intn(maxSize-minSize+1)
+		tn := &churnTenant{idx: t, arriveAt: at, members: rng.Perm(nodes)[:size]}
+		if spec.ReconfigureEvery > 0 && (t+1)%spec.ReconfigureEvery == 0 && spec.OpsPerTenant >= 2 {
+			tn.newMembrs = rng.Perm(nodes)[:size]
+		}
+		if spec.MeanThinkUS > 0 {
+			tn.think = make([]sim.Duration, spec.OpsPerTenant)
+			for k := range tn.think {
+				tn.think[k] = expGap(rng, spec.MeanThinkUS)
+			}
+		}
+		tenants[t] = tn
+	}
+
+	res := ChurnResult{Tenants: spec.Tenants}
+	var failure error
+	var lastDepart sim.Time
+	completed := 0
+
+	for _, tn := range tenants {
+		tn := tn
+		c.Eng.Schedule(tn.arriveAt, func() {
+			if failure != nil {
+				return
+			}
+			g, err := c.NewGroup(GroupConfig{
+				Members:       tn.members,
+				Kind:          OpBarrier,
+				Algorithm:     spec.Algorithm,
+				MyrinetScheme: myrinet.SchemeCollective,
+				ElanScheme:    0, // SchemeChained
+			})
+			if err != nil {
+				failure = fmt.Errorf("comm: churn tenant %d: %w", tn.idx, err)
+				return
+			}
+			tn.g = g
+			if tn.think != nil {
+				g.pace = pacer{eng: c.Eng, think: tn.think}
+				g.applyPace()
+			}
+			firstRun := spec.OpsPerTenant
+			if tn.newMembrs != nil {
+				firstRun = spec.OpsPerTenant / 2
+			}
+			tn.target = firstRun
+			g.SetOnIterDone(func(iter int, doneAt sim.Time) {
+				if iter != tn.target-1 {
+					return
+				}
+				if tn.newMembrs != nil && !tn.swapped {
+					// Halfway point: swap membership, hand the sequence
+					// over, run the rest on the new group incarnation.
+					tn.swapped = true
+					g.Reset()
+					if err := g.Reconfigure(tn.newMembrs); err != nil {
+						res.ReconfigsFailed++ // keep the old membership
+					} else {
+						res.Reconfigs++
+					}
+					if tn.think != nil {
+						// The pacer indexes by run-local iteration, which
+						// restarts at 0: hand it the second half of the
+						// precomputed draws so post-swap gaps stay fresh.
+						g.pace = pacer{eng: c.Eng, think: tn.think[firstRun:]}
+						g.applyPace()
+					}
+					tn.target = spec.OpsPerTenant - firstRun
+					g.Launch(tn.target)
+					return
+				}
+				// Departure: free the slots; queued installs drain now.
+				g.Close()
+				completed++
+				if doneAt > lastDepart {
+					lastDepart = doneAt
+				}
+			})
+			g.Launch(firstRun)
+		})
+	}
+
+	finished := func() bool { return failure != nil || completed == spec.Tenants }
+	if !c.Eng.RunCondition(finished) && failure == nil {
+		st := c.AdmissionStats()
+		return ChurnResult{}, fmt.Errorf(
+			"comm: churn deadlocked with %d of %d tenants complete (%d installs still queued)",
+			completed, spec.Tenants, st.QueueLen)
+	}
+	if failure != nil {
+		return ChurnResult{}, failure
+	}
+	c.Eng.Run() // drain trailing teardown charges and wire traffic
+
+	res.Completed = completed
+	res.TotalOps = completed * spec.OpsPerTenant
+	res.MakespanUS = lastDepart.Micros()
+	if res.MakespanUS > 0 {
+		res.AggOpsPerSec = float64(res.TotalOps) / (res.MakespanUS / 1e6)
+	}
+	st := c.AdmissionStats()
+	res.Installs = st.Installs
+	res.Uninstalls = st.Uninstalls
+	res.QueuedInstalls = st.Queued
+	res.MaxQueueLen = st.MaxQueueLen
+	res.SlotHighWater = st.SlotHighWater
+	if len(st.WaitsUS) > 0 {
+		waits := append([]float64(nil), st.WaitsUS...)
+		sort.Float64s(waits)
+		var sum float64
+		for _, w := range waits {
+			sum += w
+		}
+		res.QueueWaitMeanUS = sum / float64(len(waits))
+		res.QueueWaitP95US = percentile(waits, 0.95)
+	}
+	var net netsim.Counters
+	if c.My != nil {
+		net = c.My.Net.Counters()
+	} else {
+		net = c.El.Net.Counters()
+	}
+	res.Sent, res.Dropped = net.Sent, net.Dropped
+	return res, nil
 }
 
 // percentile returns the nearest-rank percentile of sorted values.

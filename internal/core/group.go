@@ -1,10 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"nicbarrier/internal/barrier"
 )
+
+// ErrSlotsExhausted is wrapped by backend install errors when a member
+// NIC has no free group slot (Myrinet group-queue entries, Elan
+// chained-descriptor lists). The communicator layer's admission
+// controller matches on it with errors.Is to distinguish "full, retry or
+// re-place" from genuinely invalid configurations.
+var ErrSlotsExhausted = errors.New("NIC group slots exhausted")
 
 // GroupID names a process group. Group 0 is conventionally "all ranks",
 // mirroring MPI_COMM_WORLD.

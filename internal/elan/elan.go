@@ -127,6 +127,16 @@ func (h *Host) bound(groupID int) bool {
 	return ok
 }
 
+// Unbind releases a group's event routing (the host half of teardown).
+// Unbinding a group that was never bound panics. Late events for the
+// group fall through to OnEvent afterwards, like any unbound group's.
+func (h *Host) Unbind(groupID int) {
+	if _, ok := h.groupHandlers[groupID]; !ok {
+		panic(fmt.Sprintf("elan: node %d: unbinding group %d that is not bound", h.node.ID, groupID))
+	}
+	delete(h.groupHandlers, groupID)
+}
+
 // NIC is the Elan3 model.
 type NIC struct {
 	proc
@@ -134,6 +144,14 @@ type NIC struct {
 	net  *netsim.Network
 
 	chains map[core.GroupID]*chainOp
+
+	// retired remembers recently disarmed chain IDs (keyed to their
+	// disarm time): QsNet delivers reliably, so post-teardown arrivals
+	// only happen when a delay-type fault holds an RDMA in flight; the
+	// map makes those droppable and double-disarm loudly distinguishable
+	// from never-armed IDs. Entries age out (see pruneRetired) so
+	// churning clusters do not accumulate tombstones without bound.
+	retired map[core.GroupID]sim.Time
 
 	Stats Stats
 }
@@ -144,6 +162,9 @@ type Stats struct {
 	EventsFired uint64
 	ChainsRun   uint64
 	HWBarriers  uint64
+	// StaleRDMAs counts arrivals addressed to a disarmed chain (possible
+	// only when a delay-type fault holds an RDMA past its group's drain).
+	StaleRDMAs uint64
 }
 
 // chainOp is a NIC-resident chained-descriptor barrier: the compiled form
@@ -205,9 +226,10 @@ func (n *NIC) TryArmChain(g *core.Group, state *core.OpState) error {
 		return fmt.Errorf("elan: chain for group %d already armed on node %d", g.ID, n.node.ID)
 	}
 	if slots := n.node.Prof.NIC.ChainSlots; len(n.chains) >= slots {
-		return fmt.Errorf("elan: node %d: chain slots exhausted (%d of %d in use)",
-			n.node.ID, len(n.chains), slots)
+		return fmt.Errorf("elan: node %d: chain slots: %w (%d of %d in use)",
+			n.node.ID, core.ErrSlotsExhausted, len(n.chains), slots)
 	}
+	delete(n.retired, g.ID)
 	n.chains[g.ID] = &chainOp{group: g, state: state}
 	return nil
 }
@@ -215,6 +237,56 @@ func (n *NIC) TryArmChain(g *core.Group, state *core.OpState) error {
 // ChainSlotsFree reports how many chained-descriptor slots remain.
 func (n *NIC) ChainSlotsFree() int {
 	return n.node.Prof.NIC.ChainSlots - len(n.chains)
+}
+
+// DisarmChain retires a group's chained-descriptor list, freeing its
+// Elan SRAM slot, and charges the disarm cost on the card (descriptor
+// invalidation serializes with the event unit). The chain must be idle:
+// disarming mid-operation panics, as armed descriptors still wait on
+// remote events. Disarming an unknown chain panics — a double free.
+func (n *NIC) DisarmChain(id core.GroupID) {
+	op, ok := n.chains[id]
+	if !ok {
+		panic(fmt.Sprintf("elan: node %d: disarming unknown chain %d", n.node.ID, id))
+	}
+	if op.state.Active() {
+		panic(fmt.Sprintf("elan: node %d: disarming chain %d mid-operation", n.node.ID, id))
+	}
+	delete(n.chains, id)
+	if n.retired == nil {
+		n.retired = make(map[core.GroupID]sim.Time)
+	}
+	n.retired[id] = n.eng.Now()
+	n.pruneRetired()
+	n.exec(0, n.node.Prof.NIC.GroupUninstallCost, func() {})
+}
+
+// retiredSweepLen bounds the tombstone table; pruning only runs past it.
+const retiredSweepLen = 64
+
+// pruneRetired drops tombstones old enough that no delayed RDMA can
+// still be in flight: QsNet has no retransmission, so stale arrivals
+// exist only under delay-type faults, and 10ms of virtual time dwarfs
+// any jitter the fault models inject.
+func (n *NIC) pruneRetired() {
+	if len(n.retired) <= retiredSweepLen {
+		return
+	}
+	cutoff := n.eng.Now()
+	horizon := sim.Micros(10000)
+	for id, at := range n.retired {
+		if cutoff.Sub(at) > horizon {
+			delete(n.retired, id)
+		}
+	}
+}
+
+// ChargeChainInstall charges the cost of arming a descriptor list on the
+// simulated timeline; see the Myrinet NIC's ChargeGroupInstall for the
+// setup-phase-vs-lifecycle distinction.
+func (n *NIC) ChargeChainInstall(id core.GroupID) {
+	delete(n.retired, id)
+	n.exec(0, n.node.Prof.NIC.GroupInstallCost, func() {})
 }
 
 // TriggerChain is the host-side barrier entry: post the doorbell that
@@ -294,6 +366,10 @@ func (n *NIC) onRDMA(m rdmaMsg, fromNode int) {
 					Kind: EvRemote, Group: int(m.group), Seq: m.seq, FromNode: fromNode,
 				})
 			})
+			return
+		}
+		if _, gone := n.retired[m.group]; gone {
+			n.Stats.StaleRDMAs++
 			return
 		}
 		op := n.mustChain(m.group)
@@ -412,6 +488,7 @@ func (cl *Cluster) Stats() Stats {
 		total.EventsFired += node.NIC.Stats.EventsFired
 		total.ChainsRun += node.NIC.Stats.ChainsRun
 		total.HWBarriers += node.NIC.Stats.HWBarriers
+		total.StaleRDMAs += node.NIC.Stats.StaleRDMAs
 	}
 	return total
 }

@@ -57,6 +57,11 @@ type Session struct {
 	// base is the absolute operation sequence this run starts at (see
 	// the Myrinet session's Reset).
 	base int
+	// closed marks a torn-down session.
+	closed bool
+	// gen counts run generations; see the Myrinet session's gen for why
+	// complete guards its chained posts with it.
+	gen int
 
 	// NextAt and OnIterDone mirror the Myrinet session's workload hooks:
 	// NextAt gates when a member may post iteration `next`; OnIterDone
@@ -112,8 +117,8 @@ func NewSessionWithID(cl *Cluster, gid core.GroupID, nodeIDs []int, scheme Schem
 		switch scheme {
 		case SchemeChained:
 			if node.NIC.ChainSlotsFree() <= 0 {
-				return nil, fmt.Errorf("elan: node %d: chain slots exhausted (%d in use)",
-					id, node.Prof.NIC.ChainSlots)
+				return nil, fmt.Errorf("elan: node %d: chain slots: %w (%d in use)",
+					id, core.ErrSlotsExhausted, node.Prof.NIC.ChainSlots)
 			}
 			fallthrough
 		case SchemeGsync:
@@ -168,9 +173,13 @@ func (s *Session) Launch(iters int) {
 	if iters < 1 {
 		panic(fmt.Sprintf("elan: iterations %d", iters))
 	}
+	if s.closed {
+		panic("elan: Launch on a closed session")
+	}
 	if s.iters != 0 {
 		panic("elan: session launched twice (Reset between runs)")
 	}
+	s.gen++
 	s.iters = iters
 	s.doneAt = make([]sim.Time, iters)
 	s.pending = make([]int, iters)
@@ -188,9 +197,54 @@ func (s *Session) Reset() {
 	if s.iters > 0 && !s.Done() {
 		panic("elan: Reset mid-run")
 	}
+	s.gen++
 	s.base += s.iters
 	s.iters = 0
 	s.doneAt, s.pending = nil, nil
+}
+
+// Close tears the session down. Chained sessions disarm every member's
+// descriptor list (freeing the Elan SRAM slot, the disarm cost charged
+// on the card) and release the host binding; gsync sessions only release
+// the binding (the tree lives in host memory); hardware-barrier sessions
+// detach the singleton event hook, making the network transaction
+// available to a future session. The session must have drained — Close
+// mid-run panics. A closed session cannot be relaunched.
+func (s *Session) Close() {
+	if s.closed {
+		panic("elan: session closed twice")
+	}
+	if s.iters > 0 && !s.Done() {
+		panic("elan: Close mid-run (drain the launched iterations first)")
+	}
+	for _, m := range s.members {
+		switch s.scheme {
+		case SchemeChained:
+			m.node.NIC.DisarmChain(core.GroupID(s.gid))
+			m.node.Host.Unbind(int(s.gid))
+		case SchemeGsync:
+			m.node.Host.Unbind(int(s.gid))
+		case SchemeHW:
+			m.node.Host.OnEvent = nil
+		}
+	}
+	s.closed = true
+}
+
+// Closed reports whether the session has been torn down.
+func (s *Session) Closed() bool { return s.closed }
+
+// ChargeInstall charges every member card's chain-install cost on the
+// simulated timeline (chained sessions only; the other schemes keep no
+// NIC-resident per-group state). See the Myrinet session's ChargeInstall
+// for the setup-phase-vs-lifecycle distinction.
+func (s *Session) ChargeInstall() {
+	if s.scheme != SchemeChained {
+		return
+	}
+	for _, m := range s.members {
+		m.node.NIC.ChargeChainInstall(core.GroupID(s.gid))
+	}
 }
 
 // post starts absolute operation seq on member m, honoring the NextAt
@@ -278,10 +332,14 @@ func (s *Session) complete(rank, seq int) {
 	if s.pending[rel] < 0 {
 		panic(fmt.Sprintf("elan: double completion of iteration %d by rank %d", rel, rank))
 	}
+	gen := s.gen
 	if s.pending[rel] == 0 {
 		s.doneAt[rel] = s.cl.Eng.Now()
 		if s.OnIterDone != nil {
 			s.OnIterDone(rel, s.doneAt[rel])
+		}
+		if s.gen != gen {
+			return // the callback reset the session; this run's posts are void
 		}
 	}
 	if next := rel + 1; next < s.iters {

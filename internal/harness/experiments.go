@@ -328,4 +328,5 @@ func init() {
 		Title: "Section 8.2: barrier cost under process entry skew", Figure: Skew})
 	registerFaultScenarios()
 	registerTenantScenarios()
+	registerLifecycleScenarios()
 }

@@ -117,19 +117,19 @@ type Figure struct {
 // Measure produces the latency (in microseconds) for one cluster size.
 type Measure func(n int) float64
 
-// sweep evaluates fn over ns, optionally in parallel. Results keep the
-// order of ns.
-func sweep(cfg Config, name string, ns []int, fn Measure) Series {
-	pts := make([]Point, len(ns))
+// forEach runs fn(i) for i in [0, n), fanning out over a GOMAXPROCS
+// worker pool when cfg.Parallel is set — the one parallel-dispatch
+// primitive every sweep in the package shares.
+func forEach(cfg Config, n int, fn func(i int)) {
 	if !cfg.Parallel {
-		for i, n := range ns {
-			pts[i] = Point{N: n, LatencyUS: fn(n)}
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		return Series{Name: name, Points: pts}
+		return
 	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ns) {
-		workers = len(ns)
+	if workers > n {
+		workers = n
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -138,15 +138,24 @@ func sweep(cfg Config, name string, ns []int, fn Measure) Series {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				pts[i] = Point{N: ns[i], LatencyUS: fn(ns[i])}
+				fn(i)
 			}
 		}()
 	}
-	for i := range ns {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+}
+
+// sweep evaluates fn over ns, optionally in parallel. Results keep the
+// order of ns.
+func sweep(cfg Config, name string, ns []int, fn Measure) Series {
+	pts := make([]Point, len(ns))
+	forEach(cfg, len(ns), func(i int) {
+		pts[i] = Point{N: ns[i], LatencyUS: fn(ns[i])}
+	})
 	return Series{Name: name, Points: pts}
 }
 

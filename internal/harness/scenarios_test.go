@@ -9,7 +9,8 @@ import (
 func TestRegistryHasAllExperiments(t *testing.T) {
 	want := []string{"fig5", "fig6", "fig7", "fig8a", "fig8b", "summary", "ablation",
 		"packets", "skew", "faults", "faults-burst", "faults-jitter",
-		"multi-tenant", "multi-tenant-mixed"}
+		"multi-tenant", "multi-tenant-mixed",
+		"group-churn", "reconfigure-cost", "faults-victim-tenant"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %v", got)

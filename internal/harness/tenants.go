@@ -2,8 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"nicbarrier/internal/comm"
 	"nicbarrier/internal/hwprofile"
@@ -78,32 +76,7 @@ func tenantSweep(cfg Config, spec comm.WorkloadSpec) []tenantPoint {
 			fairness: res.Fairness,
 		}
 	}
-	if !cfg.Parallel {
-		for i := range tenantCounts {
-			measure(i)
-		}
-		return pts
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(tenantCounts) {
-		workers = len(tenantCounts)
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				measure(i)
-			}
-		}()
-	}
-	for i := range tenantCounts {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	forEach(cfg, len(tenantCounts), measure)
 	return pts
 }
 

@@ -81,6 +81,18 @@ type MyrinetNIC struct {
 	// they fire only on real loss.
 	RetransmitTimeout sim.Duration
 	NackTimeout       sim.Duration
+
+	// GroupInstallCost and GroupUninstallCost model the NIC-side work of
+	// writing (resp. retiring) a group-queue entry in LANai SRAM: the
+	// host pushes the member table and schedule over PIO and the firmware
+	// initializes the bit-vector send record. Both occupy the firmware
+	// processor, so a NIC that is installing or tearing down a group
+	// delays co-resident groups' handlers — the lifecycle cost the
+	// communicator layer charges on the simulated timeline. The one-shot
+	// measurement sessions install during setup (before the measured
+	// window, like MPI_Init) and are never charged.
+	GroupInstallCost   sim.Duration
+	GroupUninstallCost sim.Duration
 }
 
 // ElanNIC describes a Quadrics Elan3 card: an RDMA/DMA engine plus an
@@ -95,6 +107,14 @@ type ElanNIC struct {
 	// ChainSlots is the number of chained-descriptor lists (one per
 	// process group) that fit in Elan SRAM; arming more fails cleanly.
 	ChainSlots int
+
+	// GroupInstallCost and GroupUninstallCost model arming (resp.
+	// disarming) a chained-descriptor list from user level: the host
+	// writes one RDMA descriptor per schedule step plus the event
+	// bindings into Elan SRAM. Charged by the communicator layer's
+	// lifecycle paths; one-shot sessions arm during setup for free.
+	GroupInstallCost   sim.Duration
+	GroupUninstallCost sim.Duration
 
 	// HostEventWrite is the latency for the NIC to make a completion
 	// visible in host memory (Elan writes host memory directly).
@@ -213,6 +233,12 @@ func baseMyrinet() MyrinetProfile {
 			GroupQueueSlots:   8,
 			RetransmitTimeout: sim.Micros(400),
 			NackTimeout:       sim.Micros(400),
+
+			// Install writes the member table + schedule and initializes
+			// the bit-vector record (a few hundred PIO words); uninstall
+			// only retires the entry and frees the static packet.
+			GroupInstallCost:   sim.Micros(3),
+			GroupUninstallCost: sim.Micros(1.2),
 		},
 		Net: netsim.Params{
 			WirePerHop:    sim.Nanos(25),
@@ -244,8 +270,12 @@ func Elan3Cluster() QuadricsProfile {
 			EventFireCycles: 28,
 			ChainCycles:     22,
 			ChainSlots:      8,
-			HostEventWrite:  sim.Nanos(300),
-			SendFixed:       sim.Nanos(250),
+			// Arming writes one descriptor + event binding per schedule
+			// step from user level; disarming invalidates the list head.
+			GroupInstallCost:   sim.Micros(2),
+			GroupUninstallCost: sim.Nanos(800),
+			HostEventWrite:     sim.Nanos(300),
+			SendFixed:          sim.Nanos(250),
 			// Calibrated so an 8-node (2-level) hgsync lands at the
 			// paper's 4.20us and growth to 1024 nodes stays shallow.
 			HWBarrierBase:     sim.Nanos(2050),

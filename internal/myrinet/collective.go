@@ -71,8 +71,8 @@ func (n *NIC) checkSlot(id core.GroupID) error {
 	}
 	slots := n.node.Prof.NIC.GroupQueueSlots
 	if used := len(n.coll.ops) + len(n.direct.ops); used >= slots {
-		return fmt.Errorf("myrinet: node %d: NIC group-queue slots exhausted (%d of %d in use)",
-			n.node.ID, used, slots)
+		return fmt.Errorf("myrinet: node %d: %w (%d of %d in use)",
+			n.node.ID, core.ErrSlotsExhausted, used, slots)
 	}
 	return nil
 }
@@ -82,10 +82,76 @@ func (n *NIC) GroupSlotsFree() int {
 	return n.node.Prof.NIC.GroupQueueSlots - len(n.coll.ops) - len(n.direct.ops)
 }
 
+// UninstallGroup retires a group's queue entry, freeing its slot for a
+// future install, and charges the firmware teardown cost on the NIC
+// processor (co-resident groups' handlers queue behind it). The caller —
+// the session layer — guarantees the group's operations have drained;
+// uninstalling a group with an active operation panics, since its bit
+// vector still expects arrivals. Unknown IDs panic too: freeing a slot
+// twice is the host-side bug the real firmware would corrupt SRAM over.
+func (n *NIC) UninstallGroup(id core.GroupID) {
+	switch {
+	case n.coll.has(id):
+		op := n.coll.ops[id]
+		if op.state.Active() {
+			panic(fmt.Sprintf("myrinet: node %d: uninstalling group %d mid-operation", n.node.ID, id))
+		}
+		op.nackTimer.Cancel()
+		delete(n.coll.ops, id)
+	case n.direct.has(id):
+		if n.direct.ops[id].state.Active() {
+			panic(fmt.Sprintf("myrinet: node %d: uninstalling group %d mid-operation", n.node.ID, id))
+		}
+		delete(n.direct.ops, id)
+	default:
+		panic(fmt.Sprintf("myrinet: node %d: uninstalling unknown group %d", n.node.ID, id))
+	}
+	if n.retired == nil {
+		n.retired = make(map[core.GroupID]sim.Time)
+	}
+	n.retired[id] = n.eng.Now()
+	n.pruneRetired()
+	n.exec(0, n.node.Prof.NIC.GroupUninstallCost, func() {})
+}
+
+// retiredSweepLen bounds the tombstone table: pruning only runs once it
+// grows past this, keeping the common case (few concurrent teardowns)
+// sweep-free.
+const retiredSweepLen = 64
+
+// pruneRetired drops tombstones old enough that no packet addressed to
+// them can still be in flight. The longest-lived stale traffic is a
+// NACK-resent duplicate, bounded by a handful of NackTimeout rounds; a
+// 16x horizon is far beyond any recovery the protocol can stretch to.
+func (n *NIC) pruneRetired() {
+	if len(n.retired) <= retiredSweepLen {
+		return
+	}
+	horizon := 16 * n.node.Prof.NIC.NackTimeout
+	cutoff := n.eng.Now()
+	for id, at := range n.retired {
+		if cutoff.Sub(at) > horizon {
+			delete(n.retired, id)
+		}
+	}
+}
+
+// ChargeGroupInstall charges the firmware-side cost of writing a fresh
+// group-queue entry on the simulated timeline. Installation itself is
+// synchronous (the slot is claimed immediately); the charge models the
+// SRAM writes occupying the firmware processor, so lifecycle-aware
+// callers invoke it right after a successful install. Reinstalling a
+// previously retired ID is legal, so the retired mark clears.
+func (n *NIC) ChargeGroupInstall(id core.GroupID) {
+	delete(n.retired, id)
+	n.exec(0, n.node.Prof.NIC.GroupInstallCost, func() {})
+}
+
 func (c *collModule) install(g *core.Group, sched barrier.Schedule) error {
 	if err := c.nic.checkSlot(g.ID); err != nil {
 		return err
 	}
+	delete(c.nic.retired, g.ID)
 	c.ops[g.ID] = &collOp{group: g, state: core.NewOpState(sched)}
 	return nil
 }
@@ -98,6 +164,7 @@ func (c *collModule) installReduce(g *core.Group, sched barrier.Schedule, op cor
 	if err != nil {
 		return err
 	}
+	delete(c.nic.retired, g.ID)
 	c.ops[g.ID] = &collOp{group: g, state: rd.Inner(), reduce: rd}
 	return nil
 }
@@ -135,7 +202,7 @@ func (c *collModule) start(id core.GroupID, value int64) {
 			sends, done, err = op.state.Start(seq)
 		}
 		if err != nil {
-			panic(fmt.Sprintf("myrinet: node %d: %v", n.node.ID, err))
+			panic(fmt.Sprintf("myrinet: node %d group %d: %v", n.node.ID, int(id), err))
 		}
 		c.armNack(op, seq)
 		c.sendAll(op, seq, sends)
@@ -175,6 +242,13 @@ func (c *collModule) sendAll(op *collOp, seq int, ranks []int) {
 func (c *collModule) onMsg(m collPayload) {
 	n := c.nic
 	n.exec(n.node.Prof.NIC.CollRecv, n.node.Prof.NIC.RecvFixed, func() {
+		if _, gone := n.retired[m.group]; gone {
+			// A NACK-resent duplicate outlived its group: the operation
+			// completed (which is why the group could tear down), so the
+			// copy is stale by construction.
+			n.Stats.StaleColl++
+			return
+		}
 		op := c.mustOp(m.group)
 		n.Stats.CollRecvd++
 		staleBefore := op.state.Stale + op.state.Duplicates
@@ -252,6 +326,10 @@ func (c *collModule) armNack(op *collOp, seq int) {
 func (c *collModule) onNack(m nackMsg, fromNode int) {
 	n := c.nic
 	n.exec(n.node.Prof.NIC.CollRecv, n.node.Prof.NIC.RecvFixed, func() {
+		if _, gone := n.retired[m.group]; gone {
+			n.Stats.StaleColl++ // NACK for a drained, torn-down group
+			return
+		}
 		op := c.mustOp(m.group)
 		n.Stats.NacksRecvd++
 		if !op.state.HasSent(m.seq, m.wantRank) {

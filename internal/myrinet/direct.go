@@ -37,6 +37,7 @@ func (d *directModule) install(g *core.Group, sched barrier.Schedule) error {
 	if err := d.nic.checkSlot(g.ID); err != nil {
 		return err
 	}
+	delete(d.nic.retired, g.ID)
 	d.ops[g.ID] = &directOp{group: g, state: core.NewOpState(sched)}
 	return nil
 }
@@ -91,6 +92,10 @@ func (d *directModule) enqueueSends(op *directOp, seq int, ranks []int) {
 func (d *directModule) onArrive(m collPayload) {
 	n := d.nic
 	n.exec(n.node.Prof.NIC.CollRecv, 0, func() {
+		if _, gone := n.retired[m.group]; gone {
+			n.Stats.StaleColl++ // p2p retransmit outlived the group
+			return
+		}
 		op := d.mustOp(m.group)
 		sends, done, err := op.state.Arrive(m.seq, m.fromRank)
 		if err != nil {

@@ -114,6 +114,15 @@ type NIC struct {
 	coll   *collModule
 	direct *directModule
 
+	// retired remembers recently uninstalled group IDs (keyed to their
+	// teardown time) so that late traffic — NACK-resent duplicates that
+	// were still in flight when the last member completed and the group
+	// tore down — is counted as stale and dropped instead of panicking
+	// as "unknown group". Entries age out once no packet for the group
+	// can still exist (see retiredHorizon), so churning clusters do not
+	// accumulate tombstones without bound.
+	retired map[core.GroupID]sim.Time
+
 	Stats NICStats
 }
 

@@ -114,6 +114,18 @@ func (h *Host) bound(groupID int) bool {
 	return ok
 }
 
+// Unbind releases a group's event routing, the host half of group
+// teardown. Unbinding a group that was never bound panics — it means two
+// drivers disagree about who owns the group. Events for the group that
+// are still in flight afterwards fall through to OnEvent (usually nil),
+// exactly like events for a group that was never installed.
+func (h *Host) Unbind(groupID int) {
+	if _, ok := h.groupHandlers[groupID]; !ok {
+		panic(fmt.Sprintf("myrinet: node %d: unbinding group %d that is not bound", h.node.ID, groupID))
+	}
+	delete(h.groupHandlers, groupID)
+}
+
 // eventGroup extracts the group an event is addressed to, when it is
 // group traffic at all.
 func eventGroup(ev Event) (int, bool) {

@@ -63,6 +63,15 @@ type Session struct {
 	// Reset a relaunched session maps absolute sequence s to run-local
 	// iteration s-base.
 	base int
+	// closed marks a torn-down session; launching it again is a
+	// programming error (install a new session instead).
+	closed bool
+	// gen counts run generations (bumped by Launch and Reset). complete
+	// snapshots it around the OnIterDone callback: a callback that
+	// Resets and relaunches the session — the churn engine's
+	// depart/reconfigure hooks do — invalidates the old run's chained
+	// next-op posts, which must not leak doorbells into the new run.
+	gen int
 
 	// results[iter][rank] collects allreduce outcomes; nil otherwise.
 	results [][]int64
@@ -293,9 +302,13 @@ func (s *Session) Launch(iters int) {
 	if iters < 1 {
 		panic(fmt.Sprintf("myrinet: iterations %d", iters))
 	}
+	if s.closed {
+		panic("myrinet: Launch on a closed session")
+	}
 	if s.iters != 0 {
 		panic("myrinet: session launched twice (Reset between runs)")
 	}
+	s.gen++
 	s.iters = iters
 	s.doneAt = make([]sim.Time, iters)
 	s.pending = make([]int, iters)
@@ -321,9 +334,51 @@ func (s *Session) Reset() {
 	if s.iters > 0 && !s.Done() {
 		panic("myrinet: Reset mid-run")
 	}
+	s.gen++
 	s.base += s.iters
 	s.iters = 0
 	s.doneAt, s.pending, s.results = nil, nil, nil
+}
+
+// Close tears the session down: every member NIC's group-queue slot is
+// freed — the teardown cost charged on its firmware processor, so
+// co-resident groups feel it — and the host-side event binding released.
+// The session must have drained; closing mid-run panics, since member
+// bit vectors still expect arrivals. Host-scheme sessions hold no NIC
+// slot, so only the host binding is released (posted receive tokens stay
+// with the NIC, as GM's do). A closed session cannot be relaunched.
+func (s *Session) Close() {
+	if s.closed {
+		panic("myrinet: session closed twice")
+	}
+	if s.iters > 0 && !s.Done() {
+		panic("myrinet: Close mid-run (drain the launched iterations first)")
+	}
+	for _, m := range s.members {
+		if s.scheme != SchemeHost {
+			m.node.NIC.UninstallGroup(s.gid)
+		}
+		m.node.Host.Unbind(int(s.gid))
+	}
+	s.closed = true
+}
+
+// Closed reports whether the session has been torn down.
+func (s *Session) Closed() bool { return s.closed }
+
+// ChargeInstall charges every member NIC's group-install cost on the
+// simulated timeline. The constructors install for free (setup phase,
+// like MPI_Init); lifecycle-aware callers — the communicator layer's
+// admission scheduler — call this right after construction so that
+// installs performed while the cluster is live delay co-resident
+// groups' firmware handlers, as real SRAM writes would.
+func (s *Session) ChargeInstall() {
+	if s.scheme == SchemeHost {
+		return // no NIC-resident state to write
+	}
+	for _, m := range s.members {
+		m.node.NIC.ChargeGroupInstall(s.gid)
+	}
 }
 
 // post starts absolute operation seq on member m, honoring the NextAt
@@ -386,10 +441,17 @@ func (s *Session) complete(rank, seq int) {
 	if s.pending[rel] < 0 {
 		panic(fmt.Sprintf("myrinet: double completion of iteration %d by rank %d", rel, rank))
 	}
+	gen := s.gen
 	if s.pending[rel] == 0 {
 		s.doneAt[rel] = s.cl.Eng.Now()
 		if s.OnIterDone != nil {
 			s.OnIterDone(rel, s.doneAt[rel])
+		}
+		if s.gen != gen {
+			// The callback reset (and possibly relaunched) the session;
+			// this run's chained posts are void — the new run posted its
+			// own openers.
+			return
 		}
 		if s.gated {
 			if next := rel + 1; next < s.iters {

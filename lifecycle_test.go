@@ -1,0 +1,178 @@
+package nicbarrier
+
+import (
+	"strings"
+	"testing"
+)
+
+// Close returns a group's NIC slots: a loop of create/run/close cycles
+// far beyond the per-NIC slot count only works if teardown reclaims.
+func TestPublicGroupCloseReclaimsSlots(t *testing.T) {
+	c, err := NewCluster(Config{
+		Interconnect: MyrinetLANaiXP, Nodes: 4, Scheme: NICCollective,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ { // 5x the 8 slots per NIC
+		g, err := c.NewGroup([]int{0, 1, 2, 3})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if _, err := g.Barrier(1, 5); err != nil {
+			t.Fatalf("cycle %d barrier: %v", i, err)
+		}
+		if err := g.Close(); err != nil {
+			t.Fatalf("cycle %d close: %v", i, err)
+		}
+		if _, err := g.Barrier(1, 5); err == nil || !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("cycle %d: closed group ran a barrier (err=%v)", i, err)
+		}
+	}
+}
+
+// A group that exercised several collective shapes releases all of its
+// slots at once.
+func TestPublicCloseReleasesAllShapes(t *testing.T) {
+	c, err := NewCluster(Config{
+		Interconnect: MyrinetLANaiXP, Nodes: 4, Scheme: NICCollective,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		g, err := c.NewGroup([]int{0, 1, 2, 3})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if _, err := g.Barrier(1, 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Broadcast(0, 2, 1, 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Allreduce(Max, 1, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The spread admission policy re-places over-capacity groups instead of
+// erroring.
+func TestPublicAdmissionSpread(t *testing.T) {
+	c, err := NewCluster(Config{
+		Interconnect: MyrinetLANaiXP, Nodes: 8, Scheme: NICCollective,
+		Admission: AdmissionConfig{Policy: AdmitSpread},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust nodes 0 and 1 (8 slots each).
+	for i := 0; i < 8; i++ {
+		g, err := c.NewGroup([]int{0, 1})
+		if err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+		if _, err := g.Barrier(0, 1); err != nil {
+			t.Fatalf("fill %d barrier: %v", i, err)
+		}
+	}
+	g, err := c.NewGroup([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Barrier(1, 5); err != nil {
+		t.Fatalf("spread-placed barrier: %v", err)
+	}
+}
+
+// MeasureChurn oversubscribes a cluster under the queueing policy and
+// completes, reporting admission statistics.
+func TestMeasureChurn(t *testing.T) {
+	res, err := MeasureChurn(Config{
+		Interconnect: MyrinetLANaiXP, Nodes: 8, Seed: 3,
+	}, ChurnSpec{
+		Tenants: 25, OpsPerTenant: 6,
+		GroupSizeMin: 2, GroupSizeMax: 5,
+		MeanArrivalGapMicros: 2,
+		ReconfigureEvery:     5,
+		Policy:               AdmitQueue,
+		ChargeInstallCosts:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 25 || res.TotalOps != 150 {
+		t.Fatalf("churn completed %d tenants / %d ops", res.Completed, res.TotalOps)
+	}
+	if res.Installs != res.Uninstalls {
+		t.Fatalf("slot leak: %d installs, %d uninstalls", res.Installs, res.Uninstalls)
+	}
+	if res.Reconfigs+res.ReconfigsFailed == 0 {
+		t.Fatal("no reconfigurations attempted")
+	}
+	if res.AggregateOpsPerSec <= 0 || res.MakespanMicros <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	// Quadrics churns too.
+	qres, err := MeasureChurn(Config{
+		Interconnect: QuadricsElan3, Nodes: 8, Seed: 3,
+	}, ChurnSpec{
+		Tenants: 20, OpsPerTenant: 5, Policy: AdmitQueue, ChargeInstallCosts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qres.Completed != 20 {
+		t.Fatalf("quadrics churn completed %d tenants", qres.Completed)
+	}
+}
+
+// A queued install cannot be driven by an exclusive Barrier run —
+// nothing in the run would ever free the slots it waits for — so the
+// public path must return a clear error, not crash.
+func TestQueuedGroupBarrierErrors(t *testing.T) {
+	c, err := NewCluster(Config{
+		Interconnect: MyrinetLANaiXP, Nodes: 4, Scheme: NICCollective,
+		Admission: AdmissionConfig{Policy: AdmitQueue},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		g, err := c.NewGroup([]int{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Barrier(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := c.NewGroup([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Barrier(1, 5); err == nil || !strings.Contains(err.Error(), "queued") {
+		t.Fatalf("queued group Barrier returned %v, want queued-install error", err)
+	}
+}
+
+// Per-tenant gap overrides flow through the public workload surface.
+func TestWorkloadTenantGapOverrides(t *testing.T) {
+	cfg := Config{Interconnect: MyrinetLANaiXP, Nodes: 8, Seed: 2}
+	res, err := MeasureWorkload(cfg, WorkloadSpec{
+		Tenants: 2, OpsPerTenant: 10,
+		Arrival: OpenLoop, MeanGapMicros: 50,
+		TenantMeanGapMicros: []float64{5, 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tenants[0].OpsPerSec <= res.Tenants[1].OpsPerSec {
+		t.Fatalf("hot tenant not faster: %.0f vs %.0f ops/s",
+			res.Tenants[0].OpsPerSec, res.Tenants[1].OpsPerSec)
+	}
+}

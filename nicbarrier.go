@@ -152,6 +152,11 @@ type Config struct {
 	// Permute randomizes which physical nodes host the ranks, as the
 	// paper's methodology does.
 	Permute bool
+	// Admission configures what happens when a group install meets a
+	// full NIC (queue, re-place, or error) and whether install costs are
+	// charged on the simulated timeline; the zero value errors on
+	// exhaustion with free setup-phase installs, the historical behavior.
+	Admission AdmissionConfig
 }
 
 // Result summarizes one measurement.

@@ -55,6 +55,10 @@ type WorkloadSpec struct {
 	// Arrival and MeanGapMicros pace every tenant's stream.
 	Arrival       ArrivalKind
 	MeanGapMicros float64
+	// TenantMeanGapMicros overrides MeanGapMicros per tenant (index =
+	// tenant; 0 or out of range inherits the global gap), so one
+	// workload can mix hot and cold tenants.
+	TenantMeanGapMicros []float64
 	// Algorithm picks the collective schedule (default Dissemination).
 	Algorithm Algorithm
 }
@@ -107,8 +111,9 @@ func (s WorkloadSpec) internal(seed uint64) comm.WorkloadSpec {
 			Kind:      comm.ArrivalKind(s.Arrival),
 			MeanGapUS: s.MeanGapMicros,
 		},
-		Algorithm: s.Algorithm.internal(),
-		Seed:      seed,
+		PerTenantGapUS: s.TenantMeanGapMicros,
+		Algorithm:      s.Algorithm.internal(),
+		Seed:           seed,
 	}
 }
 
@@ -155,4 +160,104 @@ func MeasureWorkload(cfg Config, spec WorkloadSpec) (WorkloadResult, error) {
 		return WorkloadResult{}, err
 	}
 	return c.RunWorkload(spec)
+}
+
+// ChurnSpec describes a tenant-churn workload: tenants arrive over
+// virtual time, each installs a process group through the admission
+// controller, runs a stream of barriers, optionally reconfigures its
+// membership halfway, and departs — closing the group and returning its
+// NIC slots for the next arrival.
+type ChurnSpec struct {
+	// Tenants over the whole run; OpsPerTenant barriers each.
+	Tenants, OpsPerTenant int
+	// GroupSizeMin/Max bound tenant group sizes (both zero: [2, 4]).
+	// Members are drawn randomly, so tenants overlap and individual NICs
+	// run out of slots.
+	GroupSizeMin, GroupSizeMax int
+	// MeanArrivalGapMicros is the mean gap between tenant arrivals
+	// (exponential; 0 = all arrive at once); MeanThinkMicros the think
+	// time between a tenant's operations.
+	MeanArrivalGapMicros, MeanThinkMicros float64
+	// ReconfigureEvery makes every k-th tenant swap to a fresh random
+	// membership after half its operations (0: never).
+	ReconfigureEvery int
+	// Policy decides what over-capacity installs do; churn runs usually
+	// want AdmitQueue. ChargeInstallCosts charges install costs on the
+	// simulated timeline (teardown is always charged).
+	Policy             AdmissionPolicy
+	ChargeInstallCosts bool
+	// Algorithm picks the barrier schedule (default Dissemination).
+	Algorithm Algorithm
+}
+
+// ChurnResult aggregates one churn run.
+type ChurnResult struct {
+	Tenants, Completed int
+	TotalOps           int
+	// MakespanMicros is the virtual time of the last departure;
+	// AggregateOpsPerSec is TotalOps over it.
+	MakespanMicros     float64
+	AggregateOpsPerSec float64
+	// Installs/Uninstalls count slot claims and releases (reconfigures
+	// contribute one each); QueuedInstalls the installs that waited for
+	// a departure, with MaxQueueLen and wait statistics describing the
+	// backlog; SlotHighWater is the busiest single NIC's peak slot use.
+	Installs, Uninstalls, QueuedInstalls, MaxQueueLen, SlotHighWater int
+	QueueWaitMeanMicros, QueueWaitP95Micros                          float64
+	// Reconfigs counts successful membership swaps, ReconfigsFailed the
+	// swaps refused for lack of slots on the new members.
+	Reconfigs, ReconfigsFailed int
+	// Wire accounting over the whole run.
+	Packets, DroppedPackets uint64
+}
+
+// RunChurn executes spec's tenant churn on this cluster. Randomness
+// derives from the cluster Config's Seed; runs are bit-deterministic.
+// Note: RunChurn reconfigures the cluster's admission controller to
+// spec.Policy for the run.
+func (c *Cluster) RunChurn(spec ChurnSpec) (ChurnResult, error) {
+	res, err := comm.RunChurn(c.c, comm.ChurnSpec{
+		Tenants:          spec.Tenants,
+		OpsPerTenant:     spec.OpsPerTenant,
+		GroupSizeMin:     spec.GroupSizeMin,
+		GroupSizeMax:     spec.GroupSizeMax,
+		MeanArrivalGapUS: spec.MeanArrivalGapMicros,
+		MeanThinkUS:      spec.MeanThinkMicros,
+		ReconfigureEvery: spec.ReconfigureEvery,
+		Policy:           comm.AdmitPolicy(spec.Policy),
+		ChargeSetupCosts: spec.ChargeInstallCosts,
+		Algorithm:        spec.Algorithm.internal(),
+		Seed:             c.cfg.Seed,
+	})
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	return ChurnResult{
+		Tenants:             res.Tenants,
+		Completed:           res.Completed,
+		TotalOps:            res.TotalOps,
+		MakespanMicros:      res.MakespanUS,
+		AggregateOpsPerSec:  res.AggOpsPerSec,
+		Installs:            res.Installs,
+		Uninstalls:          res.Uninstalls,
+		QueuedInstalls:      res.QueuedInstalls,
+		MaxQueueLen:         res.MaxQueueLen,
+		SlotHighWater:       res.SlotHighWater,
+		QueueWaitMeanMicros: res.QueueWaitMeanUS,
+		QueueWaitP95Micros:  res.QueueWaitP95US,
+		Reconfigs:           res.Reconfigs,
+		ReconfigsFailed:     res.ReconfigsFailed,
+		Packets:             res.Sent,
+		DroppedPackets:      res.Dropped,
+	}, nil
+}
+
+// MeasureChurn builds a fresh cluster from cfg and runs one tenant-churn
+// workload on it — the one-shot form of NewCluster + RunChurn.
+func MeasureChurn(cfg Config, spec ChurnSpec) (ChurnResult, error) {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	return c.RunChurn(spec)
 }
