@@ -103,6 +103,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("nicbarrier: unknown interconnect %d", int(cfg.Interconnect))
 	}
 	cc.SetAdmission(cfg.Admission.internal())
+	if cfg.Trace != nil {
+		sc := cfg.Trace.newScope(fmt.Sprintf("%v %dn %v", cfg.Interconnect, cfg.Nodes, cfg.Scheme))
+		eng.SetObserver(sc)
+		cc.SetTracer(sc)
+	}
 	return &Cluster{cfg: cfg, c: cc}, nil
 }
 
@@ -358,7 +363,7 @@ func runnable(cg *comm.Group) error {
 // the slots it waits for — so callers error out before reaching here
 // (see runnable).
 func (c *Cluster) measure(cg *comm.Group, warmup, iters int) Result {
-	sent0, dropped0, retrans0 := c.counters()
+	c0 := c.counters()
 	t0 := c.c.Eng.Now()
 	cg.Reset()
 	doneAt := cg.Run(warmup + iters)
@@ -371,23 +376,45 @@ func (c *Cluster) measure(cg *comm.Group, warmup, iters int) Result {
 		doneAt = shifted
 	}
 	st := harness.LatencyStats(doneAt, warmup)
-	sent, dropped, retrans := c.counters()
+	c1 := c.counters()
+	dropped := c1.dropped - c0.dropped
+	midRoute := c1.hopDropped - c0.hopDropped
 	return Result{
 		MeanMicros: st.MeanUS, MinMicros: st.MinUS, MaxMicros: st.MaxUS,
 		StdMicros: st.StdUS, Iterations: st.Iterations,
-		PacketsPerBarrier: float64(sent-sent0) / float64(warmup+iters),
-		Retransmissions:   retrans - retrans0,
-		DroppedPackets:    dropped - dropped0,
+		PacketsPerBarrier: float64(c1.sent-c0.sent) / float64(warmup+iters),
+		Retransmissions:   c1.retrans - c0.retrans,
+		DroppedPackets:    dropped,
+		Drops: DropBreakdown{
+			Injected: dropped - midRoute,
+			MidRoute: midRoute,
+			Rejected: c1.rejected - c0.rejected,
+			Stale:    c1.stale - c0.stale,
+		},
 	}
 }
 
+// wireSnapshot is one moment's cluster-wide wire and recovery
+// accounting; measure works on deltas between two of them.
+type wireSnapshot struct {
+	sent, dropped, hopDropped, rejected, retrans, stale uint64
+}
+
 // counters snapshots the cluster-wide wire and recovery accounting.
-func (c *Cluster) counters() (sent, dropped, retrans uint64) {
+func (c *Cluster) counters() wireSnapshot {
 	if my := c.c.My; my != nil {
 		net := my.Net.Counters()
 		nic := my.Stats()
-		return net.Sent, net.Dropped, nic.Retransmits + nic.CollResent
+		return wireSnapshot{
+			sent: net.Sent, dropped: net.Dropped,
+			hopDropped: net.HopDropped, rejected: net.Rejected,
+			retrans: nic.Retransmits + nic.CollResent, stale: nic.StaleColl,
+		}
 	}
 	net := c.c.El.Net.Counters()
-	return net.Sent, net.Dropped, 0
+	return wireSnapshot{
+		sent: net.Sent, dropped: net.Dropped,
+		hopDropped: net.HopDropped, rejected: net.Rejected,
+		stale: c.c.El.Stats().StaleRDMAs,
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"runtime/pprof"
 
 	"nicbarrier/internal/harness"
+	"nicbarrier/internal/obs"
 )
 
 func main() {
@@ -43,6 +44,8 @@ func realMain(args []string, stdout, stderr io.Writer) (code int) {
 	listOnly := fs.Bool("list", false, "list experiments and exit")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile of the run to this file")
+	trace := fs.String("trace", "",
+		"write a Chrome trace-event JSON of the run to this file and print the latency decomposition")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -91,6 +94,14 @@ func realMain(args []string, stdout, stderr io.Writer) (code int) {
 	}
 	cfg.Seed = *seed
 	cfg.Parallel = !*serial
+	var tracer *obs.Tracer
+	if *trace != "" {
+		// A short per-track ring keeps a fully traced -fig all bounded in
+		// memory; counters and time attribution are complete regardless,
+		// only the retained event window shrinks.
+		tracer = obs.NewTracerSize(256)
+		cfg.Trace = tracer
+	}
 
 	run := harness.Run
 	switch *format {
@@ -114,7 +125,27 @@ func realMain(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		fmt.Fprintln(stdout, out)
 	}
+	if tracer != nil {
+		fmt.Fprint(stdout, obs.FormatDecomp(obs.DecompByKind(tracer.Snapshot())))
+		if err := writeTrace(*trace, tracer); err != nil {
+			fmt.Fprintf(stderr, "barrier-bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *trace)
+	}
 	return 0
+}
+
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeMemProfile(path string) error {

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"nicbarrier/internal/obs"
 )
 
 func bench(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -89,5 +91,25 @@ func TestBadFlags(t *testing.T) {
 	}
 	if code, _, _ := bench(t, "-h"); code != 0 {
 		t.Error("-h did not exit 0")
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	code, out, errb := bench(t, "-fig", "fig6", "-trace", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"latency decomposition", "barrier", "trace written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := obs.ValidateChromeTrace(data); err != nil || n == 0 {
+		t.Fatalf("exported trace invalid (%d events): %v", n, err)
 	}
 }

@@ -291,6 +291,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 				sc.name, r.label, netName(r.cfg.Interconnect), r.cfg.Nodes, res.Iterations,
 				res.MeanMicros, res.MaxMicros, res.PacketsPerBarrier,
 				res.DroppedPackets, res.Retransmissions)
+			if d := res.Drops; d.Injected+d.MidRoute+d.Rejected+d.Stale > 0 {
+				fmt.Fprintf(stdout, "  drops      injected=%d midroute=%d rejected=%d stale=%d\n",
+					d.Injected, d.MidRoute, d.Rejected, d.Stale)
+			}
 		}
 		fmt.Fprintf(stdout, "  note: %s\n", strings.ReplaceAll(sc.note, "\n", "\n        "))
 	}

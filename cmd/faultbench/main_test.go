@@ -53,3 +53,15 @@ func TestBadUsage(t *testing.T) {
 		t.Error("-h did not exit 0")
 	}
 }
+
+func TestDropBreakdownLine(t *testing.T) {
+	code, out, errb := fb(t, "-scenario", "lossy-myrinet")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"injected=", "midroute=", "rejected=", "stale="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

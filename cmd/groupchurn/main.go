@@ -134,6 +134,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	tenants := fs.Int("tenants", 0, "override the scenario's tenant count")
 	ops := fs.Int("ops", 0, "override operations per tenant")
 	seed := fs.Uint64("seed", 0, "override the cluster seed (0: scenario default)")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -167,6 +168,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	var tr *nicbarrier.Trace
+	if *trace != "" {
+		tr = nicbarrier.NewTrace()
+	}
 	for _, s := range picked {
 		if *tenants > 0 {
 			s.spec.Tenants = *tenants
@@ -177,6 +182,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		if *seed != 0 {
 			s.cfg.Seed = *seed
 		}
+		s.cfg.Trace = tr
 		res, err := nicbarrier.MeasureChurn(s.cfg, s.spec)
 		if err != nil {
 			fmt.Fprintf(stderr, "groupchurn: %s: %v\n", s.name, err)
@@ -193,8 +199,21 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			res.QueuedInstalls, res.MaxQueueLen, res.QueueWaitMeanMicros, res.QueueWaitP95Micros)
 		fmt.Fprintf(stdout, "  reconfig   %d swapped, %d refused (kept old membership)\n",
 			res.Reconfigs, res.ReconfigsFailed)
+		if res.PreSwapOps > 0 || res.PostSwapOps > 0 {
+			fmt.Fprintf(stdout, "  swap-lat   pre  p50 %.2fus p95 %.2fus p99 %.2fus (%d ops)\n",
+				res.PreSwapP50Micros, res.PreSwapP95Micros, res.PreSwapP99Micros, res.PreSwapOps)
+			fmt.Fprintf(stdout, "             post p50 %.2fus p95 %.2fus p99 %.2fus (%d ops)\n",
+				res.PostSwapP50Micros, res.PostSwapP95Micros, res.PostSwapP99Micros, res.PostSwapOps)
+		}
 		fmt.Fprintf(stdout, "  wire       %d packets, %d dropped\n", res.Packets, res.DroppedPackets)
 		fmt.Fprintf(stdout, "note: %s\n\n", s.note)
+	}
+	if tr != nil {
+		if err := tr.WriteChromeFile(*trace); err != nil {
+			fmt.Fprintf(stderr, "groupchurn: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *trace)
 	}
 	return 0
 }

@@ -2,9 +2,20 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"nicbarrier/internal/obs"
 )
+
+func gc(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
 
 func TestListScenarios(t *testing.T) {
 	var out, errb bytes.Buffer
@@ -52,5 +63,25 @@ func TestBadFlagsAndScenario(t *testing.T) {
 	}
 	if code := realMain([]string{"-bogus"}, &out, &errb); code != 2 {
 		t.Fatalf("bad flag exit %d", code)
+	}
+}
+
+func TestTraceFlagAndSwapLatencies(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	code, out, errb := gc(t, "-scenario", "reconfigure-heavy", "-trace", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"swap-lat", "pre", "post", "trace written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := obs.ValidateChromeTrace(data); err != nil || n == 0 {
+		t.Fatalf("exported trace invalid (%d events): %v", n, err)
 	}
 }

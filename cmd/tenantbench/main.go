@@ -113,6 +113,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	tenants := fs.Int("tenants", 0, "override the scenario's tenant count")
 	ops := fs.Int("ops", 0, "override operations per tenant")
 	seed := fs.Uint64("seed", 0, "override the cluster seed (0: scenario default)")
+	trace := fs.String("trace", "",
+		"write a Chrome trace-event JSON of the run to this file and print per-op latency decomposition")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -146,6 +148,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	var tr *nicbarrier.Trace
+	if *trace != "" {
+		tr = nicbarrier.NewTrace()
+	}
 	for _, s := range picked {
 		if *tenants > 0 {
 			s.spec.Tenants = *tenants
@@ -156,6 +162,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		if *seed != 0 {
 			s.cfg.Seed = *seed
 		}
+		s.cfg.Trace = tr
 		res, err := nicbarrier.MeasureWorkload(s.cfg, s.spec)
 		if err != nil {
 			fmt.Fprintf(stderr, "tenantbench: %s: %v\n", s.name, err)
@@ -174,7 +181,33 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 				tr.Tenant, tr.Operation, tr.GroupSize, tr.Ops,
 				tr.P50Micros, tr.P99Micros, tr.MaxMicros, tr.OpsPerSec)
 		}
+		if tr != nil {
+			printDecomp(stdout, res.Decomp)
+		}
 		fmt.Fprintf(stdout, "note: %s\n\n", s.note)
 	}
+	if tr != nil {
+		if err := tr.WriteChromeFile(*trace); err != nil {
+			fmt.Fprintf(stderr, "tenantbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", *trace)
+	}
 	return 0
+}
+
+// printDecomp renders the per-op latency decomposition: where each op
+// type's attributed time went — queue wait, wire transfer, NIC
+// processing — with shares of the attributed total.
+func printDecomp(w io.Writer, rows []nicbarrier.OpDecomposition) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  %-10s %8s %12s %12s %12s %7s %7s %7s\n",
+		"decomp", "ops", "queue(us)", "wire(us)", "nic(us)", "queue%", "wire%", "nic%")
+	for _, d := range rows {
+		fmt.Fprintf(w, "  %-10s %8d %12.2f %12.2f %12.2f %6.1f%% %6.1f%% %6.1f%%\n",
+			d.Operation, d.Ops, d.QueueMicros, d.WireMicros, d.NICMicros,
+			100*d.QueueShare, 100*d.WireShare, 100*d.NICShare)
+	}
 }

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"nicbarrier/internal/obs"
 )
 
 func tb(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -60,5 +64,25 @@ func TestBadUsage(t *testing.T) {
 	}
 	if code, _, _ := tb(t, "-h"); code != 0 {
 		t.Error("-h did not exit 0")
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	code, out, errb := tb(t, "-scenario", "saturate-64", "-ops", "5", "-trace", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"decomp", "queue(us)", "wire(us)", "nic(us)", "trace written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := obs.ValidateChromeTrace(data); err != nil || n == 0 {
+		t.Fatalf("exported trace invalid (%d events): %v", n, err)
 	}
 }

@@ -1,0 +1,53 @@
+// Command tracecheck validates Chrome trace-event JSON files produced
+// by the -trace flags of barrier-bench, tenantbench and groupchurn:
+// each file must be a JSON object with a traceEvents array whose
+// events carry the fields chrome://tracing requires (phase, pid, and
+// per-phase timing fields). CI runs it over every exported trace so a
+// schema regression fails the build instead of surfacing as a blank
+// chrome://tracing window.
+//
+// Usage:
+//
+//	tracecheck out.json [more.json ...]
+//
+// Exit status 0 when every file validates, 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"nicbarrier/internal/obs"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: tracecheck <trace.json> [more.json ...]")
+		return 2
+	}
+	bad := 0
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracecheck: %v\n", err)
+			bad++
+			continue
+		}
+		n, err := obs.ValidateChromeTrace(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracecheck: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: ok, %d events\n", path, n)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}

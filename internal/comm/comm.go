@@ -31,6 +31,7 @@ import (
 	"nicbarrier/internal/core"
 	"nicbarrier/internal/elan"
 	"nicbarrier/internal/myrinet"
+	"nicbarrier/internal/obs"
 	"nicbarrier/internal/sim"
 )
 
@@ -65,6 +66,7 @@ type session interface {
 	Launch(iters int)
 	Done() bool
 	DoneAt() []sim.Time
+	StartAt() []sim.Time
 	Run(iters int) []sim.Time
 	Reset()
 	Close()
@@ -83,6 +85,23 @@ type Cluster struct {
 	nextGID core.GroupID
 	groups  []*Group
 	sched   *sched
+
+	// tr, when non-nil, is the observability scope the workload engines
+	// emit per-operation spans and per-tenant metrics into.
+	tr *obs.Scope
+}
+
+// SetTracer attaches an observability scope to the communicator layer
+// and its backend cluster (network packet lifecycle, NIC firmware
+// events, per-op spans from the workload engines). nil detaches.
+func (c *Cluster) SetTracer(sc *obs.Scope) {
+	c.tr = sc
+	if c.My != nil {
+		c.My.SetTracer(sc)
+	}
+	if c.El != nil {
+		c.El.SetTracer(sc)
+	}
 }
 
 // OverMyrinet builds a communicator layer over a Myrinet cluster.
@@ -381,6 +400,10 @@ func (g *Group) Done() bool {
 
 // DoneAt returns per-iteration completion times (valid once Done).
 func (g *Group) DoneAt() []sim.Time { return g.sess.DoneAt() }
+
+// StartAt returns per-iteration first-post times for the current run
+// (-1 where not yet posted); see the backend sessions' StartAt.
+func (g *Group) StartAt() []sim.Time { return g.sess.StartAt() }
 
 // Reset readies a finished group for another Run or Launch: the NIC
 // group-queue entry stays installed and its sequence space continues,

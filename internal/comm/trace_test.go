@@ -1,0 +1,136 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"nicbarrier/internal/hwprofile"
+	"nicbarrier/internal/myrinet"
+	"nicbarrier/internal/obs"
+	"nicbarrier/internal/sim"
+)
+
+// tracedXpComm builds a Myrinet communicator cluster with sc attached at
+// every layer: engine observer, wire tracer, per-NIC tracers, comm spans.
+func tracedXpComm(n int, sc *obs.Scope) *Cluster {
+	eng := sim.NewEngine()
+	c := OverMyrinet(myrinet.NewCluster(eng, hwprofile.LANaiXPCluster(), n, nil))
+	eng.SetObserver(sc)
+	c.SetTracer(sc)
+	return c
+}
+
+// Tracing is observational only: the same workload must produce
+// bit-identical virtual-time results with and without a tracer attached,
+// and only the traced run carries a decomposition.
+func TestTracedWorkloadNeutralAndDecomposed(t *testing.T) {
+	spec := WorkloadSpec{Tenants: 4, OpsPerTenant: 10, Seed: 3}
+	plain, err := RunWorkload(xpComm(16), spec)
+	if err != nil {
+		t.Fatalf("plain RunWorkload: %v", err)
+	}
+	if plain.Decomp != nil {
+		t.Fatalf("untraced run has a decomposition: %+v", plain.Decomp)
+	}
+
+	tr := obs.NewTracer()
+	traced, err := RunWorkload(tracedXpComm(16, tr.NewScope("traced")), spec)
+	if err != nil {
+		t.Fatalf("traced RunWorkload: %v", err)
+	}
+	if traced.MakespanUS != plain.MakespanUS {
+		t.Fatalf("tracing changed virtual time: %.3fus traced vs %.3fus plain",
+			traced.MakespanUS, plain.MakespanUS)
+	}
+	if len(traced.Decomp) != 1 {
+		t.Fatalf("decomposition rows = %d, want 1 (all-barrier workload): %+v",
+			len(traced.Decomp), traced.Decomp)
+	}
+	d := traced.Decomp[0]
+	if d.Kind != "barrier" {
+		t.Fatalf("decomposition kind %q, want barrier", d.Kind)
+	}
+	if want := uint64(spec.Tenants * spec.OpsPerTenant); d.Ops != want {
+		t.Fatalf("decomposition ops = %d, want %d", d.Ops, want)
+	}
+	if d.WireUS <= 0 || d.NICUS <= 0 {
+		t.Fatalf("decomposition missing phase attribution: wire %.2fus nic %.2fus", d.WireUS, d.NICUS)
+	}
+}
+
+// A churn run with reconfiguring tenants reports per-op latency
+// percentiles split at the membership swap, over the swapping tenants
+// only; a run where nobody swaps reports none.
+func TestChurnSwapPercentiles(t *testing.T) {
+	spec := ChurnSpec{
+		Tenants: 12, OpsPerTenant: 8,
+		ReconfigureEvery: 2,
+		Policy:           AdmitQueue,
+		Seed:             5,
+	}
+	res, err := RunChurn(xpComm(16), spec)
+	if err != nil {
+		t.Fatalf("RunChurn: %v", err)
+	}
+	if res.Reconfigs == 0 {
+		t.Fatal("no tenant reconfigured; the split has nothing to measure")
+	}
+	if res.PreSwapOps == 0 || res.PostSwapOps == 0 {
+		t.Fatalf("swap split ops = %d pre / %d post, want both > 0", res.PreSwapOps, res.PostSwapOps)
+	}
+	for phase, p := range map[string][3]float64{
+		"pre":  {res.PreSwapP50US, res.PreSwapP95US, res.PreSwapP99US},
+		"post": {res.PostSwapP50US, res.PostSwapP95US, res.PostSwapP99US},
+	} {
+		if p[0] <= 0 || p[1] < p[0] || p[2] < p[1] {
+			t.Fatalf("%s-swap percentiles not positive and monotone: p50 %.2f p95 %.2f p99 %.2f",
+				phase, p[0], p[1], p[2])
+		}
+	}
+
+	spec.ReconfigureEvery = 0
+	still, err := RunChurn(xpComm(16), spec)
+	if err != nil {
+		t.Fatalf("RunChurn without swaps: %v", err)
+	}
+	if still.PreSwapOps != 0 || still.PostSwapOps != 0 {
+		t.Fatalf("swap-free run reports split ops: %d pre / %d post", still.PreSwapOps, still.PostSwapOps)
+	}
+}
+
+// One Tracer may serve clusters running on parallel goroutines (the
+// harness sweep shape): scope creation is the synchronized boundary,
+// everything else is per-scope. Run under -race in CI.
+func TestConcurrentTracedClusters(t *testing.T) {
+	tr := obs.NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := tr.NewScope(fmt.Sprintf("cluster %d", i))
+			spec := WorkloadSpec{Tenants: 2, OpsPerTenant: 8, Seed: uint64(i + 1)}
+			if _, err := RunWorkload(tracedXpComm(8, sc), spec); err != nil {
+				t.Errorf("cluster %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	n, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("trace is empty")
+	}
+	if got := len(tr.Snapshot().Scopes); got != 4 {
+		t.Fatalf("snapshot has %d scopes, want 4", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"nicbarrier/internal/core"
 	"nicbarrier/internal/myrinet"
 	"nicbarrier/internal/netsim"
+	"nicbarrier/internal/obs"
 	"nicbarrier/internal/sim"
 )
 
@@ -192,6 +193,11 @@ type WorkloadResult struct {
 	Fairness float64
 	// Wire accounting over the whole run.
 	Sent, Dropped uint64
+	// Decomp is the latency decomposition per op type (queue-wait vs
+	// wire vs NIC-processing attribution); non-nil only when the cluster
+	// has a tracer attached (SetTracer), which is what records the
+	// underlying phase sums.
+	Decomp []obs.OpDecomp
 }
 
 // RunWorkload generates spec's tenants over the cluster, runs every
@@ -326,6 +332,14 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 			return WorkloadResult{}, err
 		}
 		done := g.DoneAt()
+		if c.tr != nil {
+			// Emit one span per op: queue wait (eligible to first post)
+			// and in-flight time (first post to global completion).
+			startAt := g.StartAt()
+			for k, at := range done {
+				c.tr.OpSpan(int(g.ID), g.Kind.String(), eligible[t][k], startAt[k], at)
+			}
+		}
 		last := done[len(done)-1]
 		if last > makespan {
 			makespan = last
@@ -367,6 +381,9 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 		net = c.El.Net.Counters()
 	}
 	res.Sent, res.Dropped = net.Sent, net.Dropped
+	if c.tr != nil {
+		res.Decomp = c.tr.Decomp()
+	}
 	return res, nil
 }
 
@@ -487,6 +504,13 @@ type ChurnResult struct {
 	// Reconfigs counts successful membership swaps; ReconfigsFailed the
 	// swaps refused for lack of slots on the new members.
 	Reconfigs, ReconfigsFailed int
+	// Pre/post-swap op latencies over the tenants that reconfigure:
+	// completion-to-completion gaps before the membership swap vs after
+	// it (counts and percentiles, simulated microseconds). Zero when no
+	// tenant swaps.
+	PreSwapOps, PostSwapOps                     int
+	PreSwapP50US, PreSwapP95US, PreSwapP99US    float64
+	PostSwapP50US, PostSwapP95US, PostSwapP99US float64
 	// Wire accounting over the whole run.
 	Sent, Dropped uint64
 }
@@ -501,6 +525,9 @@ type churnTenant struct {
 	g         *Group
 	target    int // run-local final iteration of the current run
 	swapped   bool
+	// lastDone tracks the previous completion (arrival before the first)
+	// for the pre/post-swap latency histograms.
+	lastDone sim.Time
 }
 
 // RunChurn executes spec's tenant churn on the cluster and reports
@@ -525,7 +552,7 @@ func RunChurn(c *Cluster, spec ChurnSpec) (ChurnResult, error) {
 			at = at.Add(expGap(rng, spec.MeanArrivalGapUS))
 		}
 		size := minSize + rng.Intn(maxSize-minSize+1)
-		tn := &churnTenant{idx: t, arriveAt: at, members: rng.Perm(nodes)[:size]}
+		tn := &churnTenant{idx: t, arriveAt: at, members: rng.Perm(nodes)[:size], lastDone: at}
 		if spec.ReconfigureEvery > 0 && (t+1)%spec.ReconfigureEvery == 0 && spec.OpsPerTenant >= 2 {
 			tn.newMembrs = rng.Perm(nodes)[:size]
 		}
@@ -542,6 +569,9 @@ func RunChurn(c *Cluster, spec ChurnSpec) (ChurnResult, error) {
 	var failure error
 	var lastDepart sim.Time
 	completed := 0
+	// Per-op latency (completion gap) of reconfiguring tenants, split at
+	// their membership swap — the apples-to-apples SLO comparison.
+	var preLat, postLat obs.Histogram
 
 	for _, tn := range tenants {
 		tn := tn
@@ -571,6 +601,15 @@ func RunChurn(c *Cluster, spec ChurnSpec) (ChurnResult, error) {
 			}
 			tn.target = firstRun
 			g.SetOnIterDone(func(iter int, doneAt sim.Time) {
+				if tn.newMembrs != nil {
+					gap := doneAt.Sub(tn.lastDone)
+					if tn.swapped {
+						postLat.Observe(gap)
+					} else {
+						preLat.Observe(gap)
+					}
+				}
+				tn.lastDone = doneAt
 				if iter != tn.target-1 {
 					return
 				}
@@ -639,6 +678,16 @@ func RunChurn(c *Cluster, spec ChurnSpec) (ChurnResult, error) {
 		}
 		res.QueueWaitMeanUS = sum / float64(len(waits))
 		res.QueueWaitP95US = percentile(waits, 0.95)
+	}
+	if preLat.Count() > 0 {
+		s := obs.SnapshotHistogram(&preLat)
+		res.PreSwapOps = int(s.Count)
+		res.PreSwapP50US, res.PreSwapP95US, res.PreSwapP99US = s.P50US, s.P95US, s.P99US
+	}
+	if postLat.Count() > 0 {
+		s := obs.SnapshotHistogram(&postLat)
+		res.PostSwapOps = int(s.Count)
+		res.PostSwapP50US, res.PostSwapP95US, res.PostSwapP99US = s.P50US, s.P95US, s.P99US
 	}
 	var net netsim.Counters
 	if c.My != nil {

@@ -23,6 +23,7 @@ import (
 	"nicbarrier/internal/core"
 	"nicbarrier/internal/hwprofile"
 	"nicbarrier/internal/netsim"
+	"nicbarrier/internal/obs"
 	"nicbarrier/internal/pci"
 	"nicbarrier/internal/sim"
 	"nicbarrier/internal/topo"
@@ -153,7 +154,27 @@ type NIC struct {
 	// churning clusters do not accumulate tombstones without bound.
 	retired map[core.GroupID]sim.Time
 
+	// tr, when non-nil, receives card-level trace events (doorbells,
+	// completions, installs, stale arrivals) and per-group NIC-time
+	// attribution. Disabled cost: one nil check per site.
+	tr *obs.Scope
+
 	Stats Stats
+}
+
+// traceEvent records a card-level event on this NIC's trace track.
+func (n *NIC) traceEvent(group int, k obs.Kind, arg int64) {
+	if n.tr != nil {
+		n.tr.NICEvent(n.eng.Now(), n.node.ID, group, k, arg)
+	}
+}
+
+// traceTime attributes one handler's service time to group's NIC
+// decomposition bucket; call it alongside the exec charging that work.
+func (n *NIC) traceTime(group int, cycles int64, fixed sim.Duration) {
+	if n.tr != nil {
+		n.tr.NICTime(group, sim.Cycles(cycles, n.clockMHz)+fixed)
+	}
 }
 
 // Stats counts Elan activity.
@@ -258,6 +279,8 @@ func (n *NIC) DisarmChain(id core.GroupID) {
 	}
 	n.retired[id] = n.eng.Now()
 	n.pruneRetired()
+	n.traceEvent(int(id), obs.KindUninstall, 0)
+	n.traceTime(int(id), 0, n.node.Prof.NIC.GroupUninstallCost)
 	n.exec(0, n.node.Prof.NIC.GroupUninstallCost, func() {})
 }
 
@@ -286,6 +309,8 @@ func (n *NIC) pruneRetired() {
 // setup-phase-vs-lifecycle distinction.
 func (n *NIC) ChargeChainInstall(id core.GroupID) {
 	delete(n.retired, id)
+	n.traceEvent(int(id), obs.KindInstall, 0)
+	n.traceTime(int(id), 0, n.node.Prof.NIC.GroupInstallCost)
 	n.exec(0, n.node.Prof.NIC.GroupInstallCost, func() {})
 }
 
@@ -311,6 +336,7 @@ func (n *NIC) startChain(id core.GroupID) {
 	op := n.mustChain(id)
 	seq := op.nextSeq
 	op.nextSeq++
+	n.traceEvent(int(id), obs.KindDoorbell, int64(seq))
 	sends, done, err := op.state.Start(seq)
 	if err != nil {
 		panic(fmt.Sprintf("elan: node %d: %v", n.node.ID, err))
@@ -328,6 +354,7 @@ func (n *NIC) fireRDMAs(op *chainOp, seq int, ranks []int) {
 	for _, r := range ranks {
 		dst := op.group.NodeOf(r)
 		payload := rdmaMsg{group: op.group.ID, seq: seq, fromRank: op.group.MyRank}
+		n.traceTime(int(op.group.ID), p.DMADescCycles, p.SendFixed)
 		n.exec(p.DMADescCycles, p.SendFixed, func() {
 			n.net.Send(netsim.Packet{
 				Src:     n.node.ID,
@@ -358,9 +385,11 @@ func (n *NIC) onPacket(pkt netsim.Packet) {
 // the event surfaces to the host.
 func (n *NIC) onRDMA(m rdmaMsg, fromNode int) {
 	p := n.node.Prof.NIC
+	n.traceTime(int(m.group), p.EventFireCycles, 0)
 	n.exec(p.EventFireCycles, 0, func() {
 		n.Stats.EventsFired++
 		if m.hostLevel {
+			n.traceTime(int(m.group), 0, p.HostEventWrite)
 			n.exec(0, p.HostEventWrite, func() {
 				n.node.Host.deliver(Event{
 					Kind: EvRemote, Group: int(m.group), Seq: m.seq, FromNode: fromNode,
@@ -370,6 +399,7 @@ func (n *NIC) onRDMA(m rdmaMsg, fromNode int) {
 		}
 		if _, gone := n.retired[m.group]; gone {
 			n.Stats.StaleRDMAs++
+			n.traceEvent(int(m.group), obs.KindStale, int64(m.seq))
 			return
 		}
 		op := n.mustChain(m.group)
@@ -379,6 +409,7 @@ func (n *NIC) onRDMA(m rdmaMsg, fromNode int) {
 		}
 		if len(sends) > 0 {
 			// The chained event triggers the next descriptors.
+			n.traceTime(int(m.group), p.ChainCycles, 0)
 			n.exec(p.ChainCycles, 0, func() {})
 			n.fireRDMAs(op, op.state.Seq(), sends)
 		}
@@ -393,6 +424,8 @@ func (n *NIC) onRDMA(m rdmaMsg, fromNode int) {
 // to the host process".
 func (n *NIC) completeChain(op *chainOp, seq int) {
 	p := n.node.Prof.NIC
+	n.traceEvent(int(op.group.ID), obs.KindComplete, int64(seq))
+	n.traceTime(int(op.group.ID), 0, p.HostEventWrite)
 	n.exec(0, p.HostEventWrite, func() {
 		n.node.Host.deliver(Event{Kind: EvBarrierDone, Group: int(op.group.ID), Seq: seq})
 	})
@@ -460,6 +493,17 @@ func NewCluster(eng *sim.Engine, prof hwprofile.QuadricsProfile, n int) *Cluster
 	}
 	cl.hw = newHWBarrier(cl)
 	return cl
+}
+
+// SetTracer attaches an observability scope: the network records packet
+// lifecycle events on it and every NIC records card-level events plus
+// per-group NIC-time attribution. nil detaches. Tracing never alters
+// the simulated timeline; untraced cost is one nil check per site.
+func (cl *Cluster) SetTracer(sc *obs.Scope) {
+	cl.Net.SetTracer(sc)
+	for _, node := range cl.Nodes {
+		node.NIC.tr = sc
+	}
 }
 
 // SetFaults installs a fault-injection impairment on the cluster's

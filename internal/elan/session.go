@@ -53,6 +53,10 @@ type Session struct {
 	members []*member
 	iters   int
 	doneAt  []sim.Time
+	// startAt holds, per iteration of this run, the virtual time the
+	// first member posted it (-1 until posted); startAt..doneAt is the
+	// in-flight phase, what precedes startAt is queue wait.
+	startAt []sim.Time
 	pending []int
 	// base is the absolute operation sequence this run starts at (see
 	// the Myrinet session's Reset).
@@ -182,6 +186,10 @@ func (s *Session) Launch(iters int) {
 	s.gen++
 	s.iters = iters
 	s.doneAt = make([]sim.Time, iters)
+	s.startAt = make([]sim.Time, iters)
+	for i := range s.startAt {
+		s.startAt[i] = -1
+	}
 	s.pending = make([]int, iters)
 	for i := range s.pending {
 		s.pending[i] = len(s.members)
@@ -200,7 +208,7 @@ func (s *Session) Reset() {
 	s.gen++
 	s.base += s.iters
 	s.iters = 0
-	s.doneAt, s.pending = nil, nil
+	s.doneAt, s.startAt, s.pending = nil, nil, nil
 }
 
 // Close tears the session down. Chained sessions disarm every member's
@@ -268,6 +276,12 @@ func (s *Session) Done() bool {
 // DoneAt returns the completion time per iteration (valid once Done).
 func (s *Session) DoneAt() []sim.Time { return s.doneAt }
 
+// StartAt returns, per iteration of the current run, the virtual time
+// the first member posted it (-1 if not yet posted). Together with
+// DoneAt it decomposes an operation's latency into queue wait (before
+// start) and in-flight time (start to done).
+func (s *Session) StartAt() []sim.Time { return s.startAt }
+
 // Size reports the number of participating ranks.
 func (s *Session) Size() int { return len(s.members) }
 
@@ -307,6 +321,7 @@ func (s *Session) RunSkewed(skew []sim.Duration) sim.Duration {
 	}
 	s.iters = 1
 	s.doneAt = make([]sim.Time, 1)
+	s.startAt = []sim.Time{-1}
 	s.pending = []int{len(s.members)}
 	var last sim.Time
 	for i, m := range s.members {
@@ -347,7 +362,15 @@ func (s *Session) complete(rank, seq int) {
 	}
 }
 
+// markStart stamps the first member's post time for operation seq.
+func (s *Session) markStart(seq int) {
+	if rel := seq - s.base; rel >= 0 && rel < len(s.startAt) && s.startAt[rel] < 0 {
+		s.startAt[rel] = s.cl.Eng.Now()
+	}
+}
+
 func (m *member) start(seq int) {
+	m.s.markStart(seq)
 	switch m.s.scheme {
 	case SchemeChained:
 		m.node.Host.TriggerChain(int(m.s.gid))

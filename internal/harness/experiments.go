@@ -17,6 +17,11 @@ func MeasureMyrinet(cfg Config, prof hwprofile.MyrinetProfile, clusterSize, n in
 	scheme myrinet.Scheme, alg barrier.Algorithm) float64 {
 	eng := sim.NewEngine()
 	cl := myrinet.NewCluster(eng, prof, clusterSize, nil)
+	if cfg.Trace != nil {
+		sc := cfg.Trace.NewScope(fmt.Sprintf("myrinet %dn/%d %v %v", clusterSize, n, scheme, alg))
+		eng.SetObserver(sc)
+		cl.SetTracer(sc)
+	}
 	ids := permutedIDs(cfg, clusterSize, n, uint64(scheme)<<8|uint64(alg))
 	s := myrinet.NewSession(cl, ids, scheme, alg, barrier.Options{})
 	warmup, iters := cfg.itersFor(n)
@@ -27,6 +32,11 @@ func MeasureMyrinet(cfg Config, prof hwprofile.MyrinetProfile, clusterSize, n in
 func MeasureElan(cfg Config, clusterSize, n int, scheme elan.Scheme, alg barrier.Algorithm) float64 {
 	eng := sim.NewEngine()
 	cl := elan.NewCluster(eng, hwprofile.Elan3Cluster(), clusterSize)
+	if cfg.Trace != nil {
+		sc := cfg.Trace.NewScope(fmt.Sprintf("elan %dn/%d %v %v", clusterSize, n, scheme, alg))
+		eng.SetObserver(sc)
+		cl.SetTracer(sc)
+	}
 	ids := permutedIDs(cfg, clusterSize, n, 0x9000|uint64(scheme)<<8|uint64(alg))
 	s := elan.NewSession(cl, ids, scheme, alg, barrier.Options{})
 	warmup, iters := cfg.itersFor(n)

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"nicbarrier/internal/obs"
 	"nicbarrier/internal/sim"
 )
 
@@ -33,6 +34,12 @@ type Config struct {
 	Permute bool
 	// Parallel fans data points out over a worker pool.
 	Parallel bool
+	// Trace, when non-nil, collects packet-lifecycle records, NIC
+	// events and wire/NIC time attribution from every measured data
+	// point (one scope per point). Tracing is observational only, so
+	// measured latencies are bit-identical with or without it; scope
+	// creation is synchronized, so parallel sweeps may share a tracer.
+	Trace *obs.Tracer
 }
 
 // Quick is the configuration used by tests and the default CLI: small

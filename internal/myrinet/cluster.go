@@ -5,6 +5,7 @@ import (
 
 	"nicbarrier/internal/hwprofile"
 	"nicbarrier/internal/netsim"
+	"nicbarrier/internal/obs"
 	"nicbarrier/internal/sim"
 	"nicbarrier/internal/topo"
 )
@@ -36,6 +37,18 @@ func NewCluster(eng *sim.Engine, prof hwprofile.MyrinetProfile, n int, loss nets
 		cl.Nodes = append(cl.Nodes, NewNode(eng, i, &cl.Prof, net))
 	}
 	return cl
+}
+
+// SetTracer attaches an observability scope to the cluster: the network
+// records packet lifecycle events on it and every NIC records firmware
+// events (doorbells, NACKs, resends, installs) plus per-group NIC-time
+// attribution. nil detaches. Tracing never alters the simulated
+// timeline; with no tracer the cost is one nil check per site.
+func (cl *Cluster) SetTracer(sc *obs.Scope) {
+	cl.Net.SetTracer(sc)
+	for _, node := range cl.Nodes {
+		node.NIC.tr = sc
+	}
 }
 
 // SetFaults installs a fault-injection impairment (e.g. a fault.Plan) on

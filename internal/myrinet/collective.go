@@ -6,6 +6,7 @@ import (
 	"nicbarrier/internal/barrier"
 	"nicbarrier/internal/core"
 	"nicbarrier/internal/netsim"
+	"nicbarrier/internal/obs"
 	"nicbarrier/internal/sim"
 )
 
@@ -111,6 +112,8 @@ func (n *NIC) UninstallGroup(id core.GroupID) {
 	}
 	n.retired[id] = n.eng.Now()
 	n.pruneRetired()
+	n.traceEvent(int(id), obs.KindUninstall, 0)
+	n.traceTime(int(id), 0, n.node.Prof.NIC.GroupUninstallCost)
 	n.exec(0, n.node.Prof.NIC.GroupUninstallCost, func() {})
 }
 
@@ -144,6 +147,8 @@ func (n *NIC) pruneRetired() {
 // previously retired ID is legal, so the retired mark clears.
 func (n *NIC) ChargeGroupInstall(id core.GroupID) {
 	delete(n.retired, id)
+	n.traceEvent(int(id), obs.KindInstall, 0)
+	n.traceTime(int(id), 0, n.node.Prof.NIC.GroupInstallCost)
 	n.exec(0, n.node.Prof.NIC.GroupInstallCost, func() {})
 }
 
@@ -183,6 +188,7 @@ func (c *collModule) mustOp(id core.GroupID) *collOp {
 func (c *collModule) start(id core.GroupID, value int64) {
 	op := c.mustOp(id)
 	n := c.nic
+	n.traceTime(int(id), n.node.Prof.NIC.CollEnqueue, 0)
 	n.exec(n.node.Prof.NIC.CollEnqueue, 0, func() {
 		seq := op.nextSeq
 		op.nextSeq++
@@ -223,6 +229,7 @@ func (c *collModule) sendAll(op *collOp, seq int, ranks []int) {
 			group: op.group.ID, seq: seq, fromRank: op.group.MyRank,
 			value: op.sendValue(seq, r),
 		}
+		n.traceTime(int(op.group.ID), n.node.Prof.NIC.CollTrigger, n.node.Prof.NIC.SendFixed)
 		n.exec(n.node.Prof.NIC.CollTrigger, n.node.Prof.NIC.SendFixed, func() {
 			n.net.Send(netsim.Packet{
 				Src:     n.node.ID,
@@ -241,12 +248,14 @@ func (c *collModule) sendAll(op *collOp, seq int, ranks []int) {
 // updates the bit vector and triggers whatever the schedule unblocks.
 func (c *collModule) onMsg(m collPayload) {
 	n := c.nic
+	n.traceTime(int(m.group), n.node.Prof.NIC.CollRecv, n.node.Prof.NIC.RecvFixed)
 	n.exec(n.node.Prof.NIC.CollRecv, n.node.Prof.NIC.RecvFixed, func() {
 		if _, gone := n.retired[m.group]; gone {
 			// A NACK-resent duplicate outlived its group: the operation
 			// completed (which is why the group could tear down), so the
 			// copy is stale by construction.
 			n.Stats.StaleColl++
+			n.traceEvent(int(m.group), obs.KindStale, int64(m.seq))
 			return
 		}
 		op := c.mustOp(m.group)
@@ -265,6 +274,7 @@ func (c *collModule) onMsg(m collPayload) {
 		}
 		if op.state.Stale+op.state.Duplicates > staleBefore {
 			n.Stats.StaleColl++
+			n.traceEvent(int(m.group), obs.KindStale, int64(m.seq))
 		}
 		c.sendAll(op, op.state.Seq(), sends)
 		if done {
@@ -282,6 +292,8 @@ func (c *collModule) complete(op *collOp, seq int) {
 	if op.reduce != nil {
 		value = op.reduce.Value()
 	}
+	n.traceEvent(int(op.group.ID), obs.KindComplete, int64(seq))
+	n.traceTime(int(op.group.ID), n.node.Prof.NIC.CollComplete, 0)
 	n.exec(n.node.Prof.NIC.CollComplete, 0, func() {
 		n.postEvent(Event{Kind: EvBarrierDone, Group: int(op.group.ID), Seq: seq, Value: value})
 	})
@@ -303,6 +315,8 @@ func (c *collModule) armNack(op *collOp, seq int) {
 		for _, r := range op.state.Missing() {
 			dst := op.group.NodeOf(r)
 			payload := nackMsg{group: op.group.ID, seq: seq, wantRank: op.group.MyRank}
+			n.traceEvent(int(op.group.ID), obs.KindNack, int64(r))
+			n.traceTime(int(op.group.ID), n.node.Prof.NIC.AckBuild, n.node.Prof.NIC.SendFixed)
 			n.exec(n.node.Prof.NIC.AckBuild, n.node.Prof.NIC.SendFixed, func() {
 				n.net.Send(netsim.Packet{
 					Src:     n.node.ID,
@@ -325,9 +339,11 @@ func (c *collModule) armNack(op *collOp, seq int) {
 // collOp.nackServed).
 func (c *collModule) onNack(m nackMsg, fromNode int) {
 	n := c.nic
+	n.traceTime(int(m.group), n.node.Prof.NIC.CollRecv, n.node.Prof.NIC.RecvFixed)
 	n.exec(n.node.Prof.NIC.CollRecv, n.node.Prof.NIC.RecvFixed, func() {
 		if _, gone := n.retired[m.group]; gone {
 			n.Stats.StaleColl++ // NACK for a drained, torn-down group
+			n.traceEvent(int(m.group), obs.KindStale, int64(m.seq))
 			return
 		}
 		op := c.mustOp(m.group)
@@ -349,6 +365,8 @@ func (c *collModule) onNack(m nackMsg, fromNode int) {
 			value: op.sendValue(m.seq, m.wantRank),
 		}
 		for i := 0; i < copies; i++ {
+			n.traceEvent(int(op.group.ID), obs.KindResend, int64(m.seq))
+			n.traceTime(int(op.group.ID), n.node.Prof.NIC.CollTrigger, n.node.Prof.NIC.SendFixed)
 			n.exec(n.node.Prof.NIC.CollTrigger, n.node.Prof.NIC.SendFixed, func() {
 				n.net.Send(netsim.Packet{
 					Src:     n.node.ID,

@@ -5,6 +5,7 @@ import (
 
 	"nicbarrier/internal/core"
 	"nicbarrier/internal/netsim"
+	"nicbarrier/internal/obs"
 	"nicbarrier/internal/sim"
 )
 
@@ -123,7 +124,28 @@ type NIC struct {
 	// accumulate tombstones without bound.
 	retired map[core.GroupID]sim.Time
 
+	// tr, when non-nil, receives firmware-level trace events
+	// (doorbells, NACKs, resends, stale duplicates, installs) and
+	// per-group NIC-time attribution. Disabled cost: one nil check.
+	tr *obs.Scope
+
 	Stats NICStats
+}
+
+// traceEvent records a firmware-level event on this NIC's trace track.
+func (n *NIC) traceEvent(group int, k obs.Kind, arg int64) {
+	if n.tr != nil {
+		n.tr.NICEvent(n.eng.Now(), n.node.ID, group, k, arg)
+	}
+}
+
+// traceTime attributes one handler's service time (cycles at the
+// firmware clock plus a fixed latency) to group's NIC decomposition
+// bucket; call it alongside the exec that charges the same work.
+func (n *NIC) traceTime(group int, cycles int64, fixed sim.Duration) {
+	if n.tr != nil {
+		n.tr.NICTime(group, sim.Cycles(cycles, n.clockMHz)+fixed)
+	}
 }
 
 func newNIC(eng *sim.Engine, node *Node, net *netsim.Network) *NIC {
@@ -159,6 +181,7 @@ func (n *NIC) onTokenPost() {
 }
 
 func (n *NIC) onBarrierDoorbell(groupID int, value int64) {
+	n.traceEvent(groupID, obs.KindDoorbell, value)
 	id := core.GroupID(groupID)
 	switch {
 	case n.coll.has(id):

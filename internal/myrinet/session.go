@@ -57,7 +57,12 @@ type Session struct {
 	members []*member
 	iters   int
 	doneAt  []sim.Time // completion time per iteration of this run
-	pending []int      // per iteration of this run, members not yet complete
+	// startAt holds, per iteration of this run, the virtual time the
+	// first member posted it (-1 until posted). The span startAt..doneAt
+	// is the operation's in-flight phase; what precedes startAt is queue
+	// wait, which workload engines attribute separately.
+	startAt []sim.Time
+	pending []int // per iteration of this run, members not yet complete
 	// base is the absolute operation sequence this run starts at: NIC
 	// group queues number operations monotonically across runs, so after
 	// Reset a relaunched session maps absolute sequence s to run-local
@@ -311,6 +316,10 @@ func (s *Session) Launch(iters int) {
 	s.gen++
 	s.iters = iters
 	s.doneAt = make([]sim.Time, iters)
+	s.startAt = make([]sim.Time, iters)
+	for i := range s.startAt {
+		s.startAt[i] = -1
+	}
 	s.pending = make([]int, iters)
 	for i := range s.pending {
 		s.pending[i] = len(s.members)
@@ -337,7 +346,7 @@ func (s *Session) Reset() {
 	s.gen++
 	s.base += s.iters
 	s.iters = 0
-	s.doneAt, s.pending, s.results = nil, nil, nil
+	s.doneAt, s.startAt, s.pending, s.results = nil, nil, nil, nil
 }
 
 // Close tears the session down: every member NIC's group-queue slot is
@@ -402,6 +411,12 @@ func (s *Session) Done() bool {
 
 // DoneAt returns the completion time per iteration (valid once Done).
 func (s *Session) DoneAt() []sim.Time { return s.doneAt }
+
+// StartAt returns, per iteration of the current run, the virtual time
+// the first member posted it (-1 if not yet posted). Together with
+// DoneAt it decomposes an operation's latency into queue wait (before
+// start) and in-flight time (start to done).
+func (s *Session) StartAt() []sim.Time { return s.startAt }
 
 // Size reports the number of participating ranks.
 func (s *Session) Size() int { return len(s.members) }
@@ -468,8 +483,16 @@ func (s *Session) complete(rank, seq int) {
 	}
 }
 
+// markStart stamps the first member's post time for operation seq.
+func (s *Session) markStart(seq int) {
+	if rel := seq - s.base; rel >= 0 && rel < len(s.startAt) && s.startAt[rel] < 0 {
+		s.startAt[rel] = s.cl.Eng.Now()
+	}
+}
+
 // start posts absolute operation #seq on this member's node.
 func (m *member) start(seq int) {
+	m.s.markStart(seq)
 	if m.contrib != nil {
 		m.node.Host.PostReduce(int(m.s.gid), m.contrib(seq-m.s.base))
 		return

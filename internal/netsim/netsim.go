@@ -23,6 +23,7 @@ package netsim
 import (
 	"fmt"
 
+	"nicbarrier/internal/obs"
 	"nicbarrier/internal/sim"
 	"nicbarrier/internal/topo"
 )
@@ -206,6 +207,10 @@ type Network struct {
 	// firing, so steady-state scheduling recycles instead of allocating.
 	freeEvents *pktEvent
 	mcast      mcastScratch
+	// tr, when non-nil, receives packet-lifecycle records (inject,
+	// per-hop arrival, drop with reason, delivery) and per-group wire
+	// time attribution. Disabled cost: one nil check per site.
+	tr *obs.Scope
 }
 
 // pktEvent is the pooled, closure-free form of a scheduled packet
@@ -323,6 +328,11 @@ func (n *Network) countKind(kind string) {
 	n.kindCounts[id]++
 }
 
+// SetTracer installs (or clears, with nil) the packet-lifecycle
+// tracer. Tracing only observes — virtual-time results are identical
+// with or without it.
+func (n *Network) SetTracer(sc *obs.Scope) { n.tr = sc }
+
 // SetImpairment installs (or clears, with nil) the fault hook. Installing
 // mid-simulation is allowed: fault plans schedule their own activation
 // windows, so they are typically installed once up front.
@@ -390,6 +400,16 @@ func (n *Network) recordDrop(pkt Packet, out Outcome, midRoute bool, at sim.Time
 	if midRoute {
 		n.counters.HopDropped++
 	}
+	if n.tr != nil {
+		reason := obs.DropInjected
+		switch {
+		case out.Reject:
+			reason = obs.DropRejected
+		case midRoute:
+			reason = obs.DropMidRoute
+		}
+		n.tr.PktDrop(at, pkt.Src, pkt.Dst, pkt.Group, pkt.Kind, reason)
+	}
 	if out.Reject {
 		n.counters.Rejected++
 		if n.onReject != nil {
@@ -409,6 +429,9 @@ func (n *Network) Send(pkt Packet) {
 	n.counters.Sent++
 	n.counters.Bytes += uint64(pkt.Size)
 	n.countKind(pkt.Kind)
+	if n.tr != nil {
+		n.tr.PktInject(n.eng.Now(), pkt.Src, pkt.Dst, pkt.Group, pkt.Kind)
+	}
 	if pkt.Src == pkt.Dst {
 		panic(fmt.Sprintf("netsim: loopback packet %d->%d; NIC models handle self-delivery", pkt.Src, pkt.Dst))
 	}
@@ -439,7 +462,11 @@ func (n *Network) transmit(pkt Packet) {
 	if !ok {
 		return
 	}
-	n.eng.ScheduleEvent(arrival.Add(n.serialization(pkt)), n.getEvent(opDeliver, pkt, nil))
+	done := arrival.Add(n.serialization(pkt))
+	if n.tr != nil {
+		n.tr.WireTime(pkt.Group, done.Sub(n.eng.Now()))
+	}
+	n.eng.ScheduleEvent(done, n.getEvent(opDeliver, pkt, nil))
 }
 
 // linkStep advances a packet head across one link: queue behind the
@@ -484,6 +511,9 @@ func (n *Network) headArrival(pkt Packet, route []int) (sim.Time, bool) {
 			n.recordDrop(pkt, out, true, next)
 			return 0, false
 		}
+		if n.tr != nil {
+			n.tr.PktHop(next, pkt.Src, pkt.Dst, pkt.Group, link, i)
+		}
 		t = next
 	}
 	return t, true
@@ -495,6 +525,9 @@ func (n *Network) deliver(pkt Packet) {
 		panic(fmt.Sprintf("netsim: packet for unattached host %d", pkt.Dst))
 	}
 	n.counters.Delivered++
+	if n.tr != nil {
+		n.tr.PktDeliver(n.eng.Now(), pkt.Src, pkt.Dst, pkt.Group, pkt.Kind)
+	}
 	fn(pkt)
 }
 
@@ -512,6 +545,9 @@ func (n *Network) Multicast(pkt Packet, dsts []int) {
 	n.counters.Sent++
 	n.counters.Bytes += uint64(pkt.Size)
 	n.countKind(pkt.Kind)
+	if n.tr != nil {
+		n.tr.PktInject(n.eng.Now(), pkt.Src, pkt.Dst, pkt.Group, pkt.Kind)
+	}
 	if n.loss.Drop(pkt) {
 		n.recordDrop(pkt, Outcome{Drop: true}, false, n.eng.Now())
 		return
@@ -584,12 +620,19 @@ func (n *Network) multicastBody(pkt Packet, dsts []int) {
 				break
 			}
 			t = next
+			if n.tr != nil {
+				n.tr.PktHop(t, p.Src, p.Dst, p.Group, link, i)
+			}
 			sc.headSet[link] = ep
 			sc.headAt[link] = t
 		}
 		if lost {
 			continue
 		}
-		n.eng.ScheduleEvent(t.Add(ser), n.getEvent(opDeliver, p, nil))
+		done := t.Add(ser)
+		if n.tr != nil {
+			n.tr.WireTime(p.Group, done.Sub(n.eng.Now()))
+		}
+		n.eng.ScheduleEvent(done, n.getEvent(opDeliver, p, nil))
 	}
 }

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math/bits"
+
+	"nicbarrier/internal/sim"
+)
+
+// Histogram sub-bucket resolution: 16 sub-buckets per power-of-two
+// octave gives a worst-case quantile error of ~3%, the HDR-histogram
+// trade-off.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	// histBuckets covers the whole nonnegative int64 range: the first
+	// histSub buckets are exact, then 16 sub-buckets per octave.
+	histBuckets = histSub + (63-histSubBits+1)*histSub
+)
+
+// Histogram is a fixed-layout HDR-style latency histogram over
+// sim.Duration values (nanoseconds). Observe is allocation-free after
+// the first call (which allocates the bucket array once); quantiles
+// resolve to the recorded bucket's midpoint. The zero value is ready
+// to use.
+type Histogram struct {
+	counts []uint64
+	n      uint64
+	sum    int64
+	max    int64
+}
+
+func histBucket(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	msb := bits.Len64(uint64(v)) - 1
+	sub := int((uint64(v) >> (uint(msb) - histSubBits)) & (histSub - 1))
+	return histSub + (msb-histSubBits)*histSub + sub
+}
+
+// histValue returns the midpoint of bucket i's value range.
+func histValue(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	oct := (i-histSub)/histSub + histSubBits
+	sub := int64((i - histSub) % histSub)
+	low := int64(1)<<uint(oct) + sub<<uint(oct-histSubBits)
+	return low + int64(1)<<uint(oct-histSubBits)/2
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(d sim.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, histBuckets)
+	}
+	h.counts[histBucket(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports how many values were observed.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean reports the exact mean of the observed values (the sum is kept
+// exactly; only quantiles are bucketed).
+func (h *Histogram) Mean() sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / int64(h.n))
+}
+
+// Max reports the exact maximum observed value.
+func (h *Histogram) Max() sim.Duration { return sim.Duration(h.max) }
+
+// Quantile reports the q-quantile (q in [0,1]) as the midpoint of the
+// bucket holding the nearest-rank value; the maximum is exact.
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return sim.Duration(h.max)
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q*float64(h.n-1)) + 1
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := histValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			return sim.Duration(v)
+		}
+	}
+	return sim.Duration(h.max)
+}
+
+// Merge folds other into h. Exactness of Mean/Max is preserved.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.n == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, histBuckets)
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}

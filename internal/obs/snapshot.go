@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// HistSnapshot is the exported summary of one latency histogram, in
+// the microsecond units the rest of the repository reports.
+type HistSnapshot struct {
+	Count                              uint64
+	MeanUS, P50US, P95US, P99US, MaxUS float64
+}
+
+// SnapshotHistogram summarizes h.
+func SnapshotHistogram(h *Histogram) HistSnapshot {
+	return HistSnapshot{
+		Count:  h.Count(),
+		MeanUS: h.Mean().Micros(),
+		P50US:  h.Quantile(0.50).Micros(),
+		P95US:  h.Quantile(0.95).Micros(),
+		P99US:  h.Quantile(0.99).Micros(),
+		MaxUS:  h.Max().Micros(),
+	}
+}
+
+// GroupSnapshot is the exported metric stream of one group (tenant).
+type GroupSnapshot struct {
+	Group int
+	Kind  string // op label ("barrier", ...); empty when no span was recorded
+	Ops   uint64
+	// Decomposition attribution sums, microseconds. These sum
+	// concurrent activity, so they can exceed the group's wall-clock.
+	QueueUS, WireUS, NICUS float64
+	Sent, Dropped          uint64
+	Latency                HistSnapshot
+}
+
+// ScopeSnapshot is the exported state of one scope.
+type ScopeSnapshot struct {
+	Name                         string
+	EventsFired, EventsCancelled uint64
+	Records                      uint64 // total emitted across every track
+	Groups                       []GroupSnapshot
+}
+
+// Snapshot is the metrics snapshot API: the full exported state of a
+// tracer, safe to serialize or serve. Take it only after the traced
+// simulations have finished.
+type Snapshot struct {
+	Scopes []ScopeSnapshot
+}
+
+// Snapshot exports the tracer's current metric state.
+func (tr *Tracer) Snapshot() Snapshot {
+	var out Snapshot
+	for _, s := range tr.Scopes() {
+		out.Scopes = append(out.Scopes, s.snapshot())
+	}
+	return out
+}
+
+func (s *Scope) snapshot() ScopeSnapshot {
+	ss := ScopeSnapshot{
+		Name:            s.name,
+		EventsFired:     s.eventsFired,
+		EventsCancelled: s.eventsCancelled,
+	}
+	for _, t := range s.allTracks() {
+		ss.Records += t.ring.total
+	}
+	for gid := range s.groups {
+		g := &s.groups[gid]
+		if g.ops == 0 && g.sent == 0 && g.dropped == 0 && g.wireNS == 0 && g.nicNS == 0 {
+			continue
+		}
+		ss.Groups = append(ss.Groups, GroupSnapshot{
+			Group:   gid,
+			Kind:    g.kind,
+			Ops:     g.ops,
+			QueueUS: float64(g.queueNS) / 1e3,
+			WireUS:  float64(g.wireNS) / 1e3,
+			NICUS:   float64(g.nicNS) / 1e3,
+			Sent:    g.sent,
+			Dropped: g.dropped,
+			Latency: SnapshotHistogram(&g.lat),
+		})
+	}
+	return ss
+}
+
+func (s *Scope) allTracks() []*Track {
+	var out []*Track
+	if s.engine != nil {
+		out = append(out, s.engine)
+	}
+	for _, list := range [][]*Track{s.nodes, s.nics, s.tenants} {
+		for _, t := range list {
+			if t != nil {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// OpDecomp is one row of the latency-decomposition table: where an op
+// type's time went, split into queue-wait, wire and NIC-processing
+// attribution. Shares are fractions of the attributed total (queue +
+// wire + NIC); the buckets sum concurrent activity, so they describe
+// where effort goes, not wall-clock.
+type OpDecomp struct {
+	Kind                            string
+	Ops                             uint64
+	QueueUS, WireUS, NICUS          float64
+	QueueShare, WireShare, NICShare float64
+}
+
+func (d *OpDecomp) fillShares() {
+	total := d.QueueUS + d.WireUS + d.NICUS
+	if total <= 0 {
+		return
+	}
+	d.QueueShare = d.QueueUS / total
+	d.WireShare = d.WireUS / total
+	d.NICShare = d.NICUS / total
+}
+
+// DecompByKind aggregates a snapshot's per-group attribution sums by
+// op kind. Groups that recorded no op span contribute under the kind
+// "barrier" when they saw traffic (harness sessions trace wire/NIC
+// time without comm-level spans) and are dropped when idle.
+func DecompByKind(snap Snapshot) []OpDecomp {
+	acc := map[string]*OpDecomp{}
+	for _, sc := range snap.Scopes {
+		for _, g := range sc.Groups {
+			kind := g.Kind
+			if kind == "" {
+				if g.WireUS == 0 && g.NICUS == 0 {
+					continue
+				}
+				kind = "barrier"
+			}
+			d := acc[kind]
+			if d == nil {
+				d = &OpDecomp{Kind: kind}
+				acc[kind] = d
+			}
+			d.Ops += g.Ops
+			d.QueueUS += g.QueueUS
+			d.WireUS += g.WireUS
+			d.NICUS += g.NICUS
+		}
+	}
+	out := make([]OpDecomp, 0, len(acc))
+	for _, d := range acc {
+		d.fillShares()
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// Decomp aggregates this scope's per-group phase attribution into
+// per-op-kind decomposition rows; see DecompByKind.
+func (s *Scope) Decomp() []OpDecomp {
+	return DecompByKind(Snapshot{Scopes: []ScopeSnapshot{s.snapshot()}})
+}
+
+// FormatDecomp renders a latency-decomposition table (queue/wire/NIC
+// attribution and shares per op type). Empty input renders an
+// explanatory line instead of an empty table.
+func FormatDecomp(rows []OpDecomp) string {
+	if len(rows) == 0 {
+		return "latency decomposition: no attributed time recorded\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency decomposition (attributed time per op type)\n")
+	fmt.Fprintf(&b, "  %-10s %8s %12s %12s %12s %7s %7s %7s\n",
+		"op", "ops", "queue(us)", "wire(us)", "nic(us)", "queue%", "wire%", "nic%")
+	for _, d := range rows {
+		fmt.Fprintf(&b, "  %-10s %8d %12.2f %12.2f %12.2f %6.1f%% %6.1f%% %6.1f%%\n",
+			d.Kind, d.Ops, d.QueueUS, d.WireUS, d.NICUS,
+			100*d.QueueShare, 100*d.WireShare, 100*d.NICShare)
+	}
+	return b.String()
+}

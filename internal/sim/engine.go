@@ -81,7 +81,24 @@ type Engine struct {
 	cancelled int
 	slots     []slot
 	freeSlot  int32 // head of the slot free list, -1 when empty
+	// obs, when non-nil, is notified of every event firing and
+	// cancellation. The disabled cost is one nil check per event.
+	obs EventObserver
 }
+
+// EventObserver receives engine-level notifications: one call per
+// fired event (at the event's timestamp, before its action runs) and
+// one per cancellation. Observers must only observe — scheduling new
+// events or mutating engine state from a callback is a modeling bug.
+// The tracing layer (internal/obs) implements this interface; the sim
+// package only defines it, keeping the engine dependency-free.
+type EventObserver interface {
+	EventFired(at Time)
+	EventCancelled(at Time)
+}
+
+// SetObserver installs (or clears, with nil) the event observer.
+func (e *Engine) SetObserver(o EventObserver) { e.obs = o }
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
@@ -264,6 +281,9 @@ func (e *Engine) Step() bool {
 		e.now = en.at
 		e.executed++
 		e.live--
+		if e.obs != nil {
+			e.obs.EventFired(en.at)
+		}
 		if en.fn != nil {
 			en.fn()
 		} else {
@@ -401,6 +421,9 @@ func (t Timer) Cancel() bool {
 	sl.state = slotCancelled
 	e.cancelled++
 	e.live--
+	if e.obs != nil {
+		e.obs.EventCancelled(e.now)
+	}
 	if len(e.queue) >= compactMin && e.cancelled > len(e.queue)/2 {
 		e.compact()
 	}

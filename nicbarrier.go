@@ -157,6 +157,12 @@ type Config struct {
 	// charged on the simulated timeline; the zero value errors on
 	// exhaustion with free setup-phase installs, the historical behavior.
 	Admission AdmissionConfig
+	// Trace, when non-nil, attaches an observability scope to every
+	// cluster built from this Config: packet-lifecycle records, NIC
+	// firmware events, per-op spans and latency-decomposition metrics,
+	// exportable as a Chrome trace (see NewTrace). Tracing never alters
+	// the simulated timeline; results stay bit-identical.
+	Trace *Trace
 }
 
 // Result summarizes one measurement.
@@ -172,6 +178,23 @@ type Result struct {
 	// DroppedPackets counts packets the network discarded over the whole
 	// run (loss model plus fault plan, at injection or mid-route).
 	DroppedPackets uint64
+	// Drops breaks DroppedPackets down by where in the packet lifecycle
+	// the loss happened, plus the NIC-level stale-duplicate count.
+	Drops DropBreakdown
+}
+
+// DropBreakdown classifies lost traffic. Injected and MidRoute
+// partition the wire drops (Injected + MidRoute = DroppedPackets);
+// Rejected classifies, by cause, the subset refused by a crashed or
+// rejecting port (at injection or mid-route). Stale counts NIC-level
+// discards of late duplicates — packets that were delivered by the wire
+// but addressed an operation already complete or a group already torn
+// down — and is not part of DroppedPackets.
+type DropBreakdown struct {
+	Injected uint64 // lost entering the source link (loss models, drop faults)
+	MidRoute uint64 // worms killed at an intermediate hop
+	Rejected uint64 // refused by a crashed/rejecting port (subset, by cause)
+	Stale    uint64 // NIC-discarded late duplicates (delivered, then ignored)
 }
 
 func (c Config) validate() error {

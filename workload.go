@@ -93,6 +93,25 @@ type WorkloadResult struct {
 	Fairness float64
 	// Wire accounting over the whole run.
 	Packets, DroppedPackets uint64
+	// Decomp is the per-op-type latency decomposition (queue-wait vs
+	// wire vs NIC-processing attribution). Populated only when the
+	// cluster Config carries a Trace — the trace records the underlying
+	// phase sums.
+	Decomp []OpDecomposition
+}
+
+// OpDecomposition is one row of the latency-decomposition table: where
+// one op type's attributed time went. Shares are fractions of the
+// attributed total (queue + wire + NIC); buckets sum concurrent
+// activity across tenants and NICs, so they describe where effort
+// goes, not wall-clock.
+type OpDecomposition struct {
+	Operation string
+	Ops       uint64
+	// Attributed time per phase, simulated microseconds.
+	QueueMicros, WireMicros, NICMicros float64
+	// Shares of the attributed total, in [0, 1].
+	QueueShare, WireShare, NICShare float64
 }
 
 func (s WorkloadSpec) internal(seed uint64) comm.WorkloadSpec {
@@ -132,6 +151,14 @@ func (c *Cluster) RunWorkload(spec WorkloadSpec) (WorkloadResult, error) {
 		Fairness:           res.Fairness,
 		Packets:            res.Sent,
 		DroppedPackets:     res.Dropped,
+	}
+	for _, d := range res.Decomp {
+		out.Decomp = append(out.Decomp, OpDecomposition{
+			Operation:   d.Kind,
+			Ops:         d.Ops,
+			QueueMicros: d.QueueUS, WireMicros: d.WireUS, NICMicros: d.NICUS,
+			QueueShare: d.QueueShare, WireShare: d.WireShare, NICShare: d.NICShare,
+		})
 	}
 	for _, tr := range res.Tenants {
 		out.Tenants = append(out.Tenants, TenantStats{
@@ -207,6 +234,12 @@ type ChurnResult struct {
 	// Reconfigs counts successful membership swaps, ReconfigsFailed the
 	// swaps refused for lack of slots on the new members.
 	Reconfigs, ReconfigsFailed int
+	// Pre/post-swap per-op latency percentiles over the tenants that
+	// reconfigure: operation completion gaps before the membership swap
+	// vs after it, simulated microseconds. Zero when no tenant swaps.
+	PreSwapOps, PostSwapOps                                 int
+	PreSwapP50Micros, PreSwapP95Micros, PreSwapP99Micros    float64
+	PostSwapP50Micros, PostSwapP95Micros, PostSwapP99Micros float64
 	// Wire accounting over the whole run.
 	Packets, DroppedPackets uint64
 }
@@ -247,6 +280,14 @@ func (c *Cluster) RunChurn(spec ChurnSpec) (ChurnResult, error) {
 		QueueWaitP95Micros:  res.QueueWaitP95US,
 		Reconfigs:           res.Reconfigs,
 		ReconfigsFailed:     res.ReconfigsFailed,
+		PreSwapOps:          res.PreSwapOps,
+		PostSwapOps:         res.PostSwapOps,
+		PreSwapP50Micros:    res.PreSwapP50US,
+		PreSwapP95Micros:    res.PreSwapP95US,
+		PreSwapP99Micros:    res.PreSwapP99US,
+		PostSwapP50Micros:   res.PostSwapP50US,
+		PostSwapP95Micros:   res.PostSwapP95US,
+		PostSwapP99Micros:   res.PostSwapP99US,
 		Packets:             res.Sent,
 		DroppedPackets:      res.Dropped,
 	}, nil
