@@ -33,6 +33,10 @@ import (
 type Cluster struct {
 	cfg Config
 	c   *comm.Cluster
+	// replicas are the extra workload shards under Config.Partitions > 1
+	// (shard 0 is c itself). Single-group measurements never touch them;
+	// RunWorkload/RunChurn deal tenants across [c, replicas...].
+	replicas []*comm.Cluster
 }
 
 // AdmissionPolicy decides what a group install does when a member NIC's
@@ -77,11 +81,33 @@ func (a AdmissionConfig) internal() comm.AdmissionConfig {
 
 // NewCluster builds a simulated cluster from cfg (Nodes, Interconnect,
 // LossRate, Faults, Admission, Seed). The Scheme and Algorithm fields
-// set the default for groups created on it.
+// set the default for groups created on it. Under cfg.Partitions > 1
+// it also builds the replica shards that partitioned workloads run on.
 func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	cc, err := newCommCluster(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, c: cc}
+	for s := 1; s < cfg.Partitions; s++ {
+		rc, err := newCommCluster(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		c.replicas = append(c.replicas, rc)
+	}
+	return c, nil
+}
+
+// newCommCluster builds one simulated cluster backend — engine, NIC
+// backend, comm layer, admission controller and trace scope — from cfg.
+// shard is the replica index under partitioned workload execution;
+// shard 0 is the primary and keeps the historical trace-scope name, so
+// single-partition traces are unchanged.
+func newCommCluster(cfg Config, shard int) (*comm.Cluster, error) {
 	eng := sim.NewEngine()
 	var cc *comm.Cluster
 	switch cfg.Interconnect {
@@ -104,11 +130,24 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	cc.SetAdmission(cfg.Admission.internal())
 	if cfg.Trace != nil {
-		sc := cfg.Trace.newScope(fmt.Sprintf("%v %dn %v", cfg.Interconnect, cfg.Nodes, cfg.Scheme))
+		name := fmt.Sprintf("%v %dn %v", cfg.Interconnect, cfg.Nodes, cfg.Scheme)
+		if shard > 0 {
+			name = fmt.Sprintf("%s/shard%d", name, shard)
+		}
+		sc := cfg.Trace.newScope(name)
 		eng.SetObserver(sc)
 		cc.SetTracer(sc)
 	}
-	return &Cluster{cfg: cfg, c: cc}, nil
+	return cc, nil
+}
+
+// workloadClusters is the shard list partitioned workloads run over:
+// the primary plus the Partitions-1 replicas.
+func (c *Cluster) workloadClusters() []*comm.Cluster {
+	if len(c.replicas) == 0 {
+		return []*comm.Cluster{c.c}
+	}
+	return append([]*comm.Cluster{c.c}, c.replicas...)
 }
 
 // Group is one communicator on a shared Cluster: a node subset with its

@@ -12,6 +12,10 @@
 //	groupchurn -scenario queue-crunch
 //	groupchurn -all -tenants 64
 //	groupchurn -scenario reconfigure-heavy -seed 7
+//	groupchurn -scenario queue-crunch -partitions 4
+//
+// Traces written with -trace can be validated and summarized with
+// cmd/tracecheck (go run ./cmd/tracecheck <file>).
 package main
 
 import (
@@ -134,7 +138,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	tenants := fs.Int("tenants", 0, "override the scenario's tenant count")
 	ops := fs.Int("ops", 0, "override operations per tenant")
 	seed := fs.Uint64("seed", 0, "override the cluster seed (0: scenario default)")
-	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	partitions := fs.Int("partitions", 0,
+		"run the churn on this many parallel replica shards (0 or 1: single partition)")
+	trace := fs.String("trace", "",
+		"write a Chrome trace-event JSON of the run to this file\n"+
+			"(validate the output with: go run ./cmd/tracecheck <file>)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -182,6 +190,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		if *seed != 0 {
 			s.cfg.Seed = *seed
 		}
+		s.cfg.Partitions = *partitions
 		s.cfg.Trace = tr
 		res, err := nicbarrier.MeasureChurn(s.cfg, s.spec)
 		if err != nil {

@@ -10,6 +10,10 @@
 //	tenantbench -scenario saturate-64
 //	tenantbench -all -ops 50
 //	tenantbench -scenario open-loop-burst -tenants 16 -seed 7
+//	tenantbench -scenario saturate-64 -partitions 4
+//
+// Traces written with -trace can be validated and summarized with
+// cmd/tracecheck (go run ./cmd/tracecheck <file>).
 package main
 
 import (
@@ -113,8 +117,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	tenants := fs.Int("tenants", 0, "override the scenario's tenant count")
 	ops := fs.Int("ops", 0, "override operations per tenant")
 	seed := fs.Uint64("seed", 0, "override the cluster seed (0: scenario default)")
+	partitions := fs.Int("partitions", 0,
+		"run the workload on this many parallel replica shards (0 or 1: single partition)")
 	trace := fs.String("trace", "",
-		"write a Chrome trace-event JSON of the run to this file and print per-op latency decomposition")
+		"write a Chrome trace-event JSON of the run to this file and print per-op latency decomposition\n"+
+			"(validate the output with: go run ./cmd/tracecheck <file>)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -162,6 +169,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		if *seed != 0 {
 			s.cfg.Seed = *seed
 		}
+		s.cfg.Partitions = *partitions
 		s.cfg.Trace = tr
 		res, err := nicbarrier.MeasureWorkload(s.cfg, s.spec)
 		if err != nil {

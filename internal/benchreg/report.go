@@ -76,6 +76,12 @@ var knownUnits = map[string]bool{
 	// simulated second and Jain's fairness index.
 	"kops/s": true,
 	"jain":   true,
+	// Partitioned-simulation metrics: measured wall-clock speedup of a
+	// sharded run over its single-partition twin (informational; the
+	// deterministic load-balance bound gates under "x") and lookahead
+	// window counts.
+	"speedup": true,
+	"count":   true,
 }
 
 // Validate checks the report is schema-compatible and internally

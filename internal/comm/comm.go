@@ -22,6 +22,15 @@
 // tenants through arrive/run/depart/reconfigure lifecycles (RunChurn),
 // reporting throughput of virtual time, per-tenant latency percentiles,
 // fairness and admission statistics.
+//
+// workload_shard.go parallelizes both generators across replica
+// clusters: RunWorkloadSharded and RunChurnSharded plan the full tenant
+// population once (same RNG draw order as the single-cluster path),
+// deal tenants round-robin across the shards, run every shard on its
+// own engine goroutine, and merge per-shard results into one report in
+// deterministic global-tenant order. A one-shard call is exactly the
+// single-cluster run, bit for bit; see ARCHITECTURE.md for the
+// partitioning model and its fidelity trade.
 package comm
 
 import (

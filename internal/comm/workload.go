@@ -200,17 +200,28 @@ type WorkloadResult struct {
 	Decomp []obs.OpDecomp
 }
 
-// RunWorkload generates spec's tenants over the cluster, runs every
-// stream to completion concurrently, and reports throughput, latency and
-// fairness. All randomness derives from spec.Seed; runs are
-// bit-deterministic. Allreduce tenants' results are verified against the
-// reference reduction, so cross-tenant contamination of NIC state cannot
-// pass silently.
-func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
-	nodes := c.Nodes()
-	if err := spec.validate(nodes); err != nil {
-		return WorkloadResult{}, err
-	}
+// tenantPlan is one tenant's precomputed setup: membership, operation
+// kind and every arrival/think draw. Plans are drawn up-front by
+// planTenants so that execution — single-cluster or sharded — performs
+// no RNG work: the same seed yields the same plans no matter how many
+// partitions later run them.
+type tenantPlan struct {
+	idx      int
+	members  []int
+	kind     OpKind
+	arrivals []sim.Time     // open-loop arrival instants; nil for closed loop
+	think    []sim.Duration // closed-loop think times; nil when back-to-back
+}
+
+// planTenants draws every tenant's plan from spec.Seed. The draw order
+// (placement shuffle, then per tenant: size, members, kind, pacing) is
+// a compatibility contract: it keeps single-partition runs bit-identical
+// to the gated baseline, and it makes multi-partition runs agree with
+// them on memberships, kinds and operation counts, because every
+// partitioning executes the same plans. barrierOnly forces OpBarrier
+// after the mix draw (Quadrics groups run barriers only), spending the
+// same draws so the seed stream stays aligned across backends.
+func planTenants(nodes int, spec WorkloadSpec, barrierOnly bool) ([]tenantPlan, error) {
 	rng := sim.NewRNG(spec.Seed ^ 0x7e4a47)
 
 	// Disjoint placement slices one shuffled node list; overlapping
@@ -219,8 +230,7 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 	cursor := 0
 	mixTotal := spec.Mix.Barrier + spec.Mix.Broadcast + spec.Mix.Allreduce
 
-	groups := make([]*Group, spec.Tenants)
-	eligible := make([][]sim.Time, spec.Tenants) // per tenant, per op
+	plans := make([]tenantPlan, spec.Tenants)
 	for t := 0; t < spec.Tenants; t++ {
 		size := nodes / spec.Tenants
 		if spec.GroupSizeMax > 0 {
@@ -231,7 +241,7 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 			members = rng.Perm(nodes)[:size]
 		} else {
 			if cursor+size > nodes {
-				return WorkloadResult{}, fmt.Errorf(
+				return nil, fmt.Errorf(
 					"comm: tenant %d needs %d nodes but only %d of %d remain (use Overlap or shrink groups)",
 					t, size, nodes-cursor, nodes)
 			}
@@ -249,32 +259,14 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 				kind = OpAllreduce
 			}
 		}
-		if c.El != nil {
+		if barrierOnly {
 			kind = OpBarrier // Quadrics groups run barriers only
 		}
-		gc := GroupConfig{
-			Members:       members,
-			Kind:          kind,
-			Algorithm:     spec.Algorithm,
-			MyrinetScheme: myrinet.SchemeCollective,
-		}
-		if kind == OpAllreduce {
-			// Max is exact for every group size and algorithm, so mixed
-			// workloads never trip the sum/dissemination exactness rule.
-			gc.Reduce = core.ReduceMax
-			gc.Contrib = allreduceContrib
-		}
-		g, err := c.NewGroup(gc)
-		if err != nil {
-			return WorkloadResult{}, fmt.Errorf("comm: tenant %d: %w", t, err)
-		}
-		groups[t] = g
+		p := tenantPlan{idx: t, members: members, kind: kind}
 
 		// Precompute the arrival process so steady-state dispatch is
 		// allocation- and RNG-free.
-		g.pace.eng = c.Eng
 		gap := spec.gapFor(t)
-		elig := make([]sim.Time, spec.OpsPerTenant)
 		switch spec.Arrival.Kind {
 		case OpenLoop:
 			arr := make([]sim.Time, spec.OpsPerTenant)
@@ -282,52 +274,86 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 			for k := range arr {
 				at = at.Add(expGap(rng, gap))
 				arr[k] = at
-				elig[k] = at
 			}
-			g.pace.arrivals = arr
+			p.arrivals = arr
 		case ClosedLoop:
 			if gap > 0 {
 				think := make([]sim.Duration, spec.OpsPerTenant)
 				for k := range think {
 					think[k] = expGap(rng, gap)
 				}
-				g.pace.think = think
+				p.think = think
 			}
 		}
-		eligible[t] = elig
-		g.applyPace()
+		plans[t] = p
 	}
+	return plans, nil
+}
 
-	for _, g := range groups {
-		g.Launch(spec.OpsPerTenant)
+// installTenant realizes one plan on a cluster: creates the group,
+// attaches the precomputed pacer, and returns the eligibility vector
+// (open loop: the arrival instants; closed loop: zeros, derived after
+// the run from completions).
+func installTenant(c *Cluster, spec WorkloadSpec, p tenantPlan) (*Group, []sim.Time, error) {
+	gc := GroupConfig{
+		Members:       p.members,
+		Kind:          p.kind,
+		Algorithm:     spec.Algorithm,
+		MyrinetScheme: myrinet.SchemeCollective,
 	}
-	c.DriveAll()
-	c.Eng.Run() // drain trailing traffic so counters are complete
+	if p.kind == OpAllreduce {
+		// Max is exact for every group size and algorithm, so mixed
+		// workloads never trip the sum/dissemination exactness rule.
+		gc.Reduce = core.ReduceMax
+		gc.Contrib = allreduceContrib
+	}
+	g, err := c.NewGroup(gc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("comm: tenant %d: %w", p.idx, err)
+	}
+	g.pace.eng = c.Eng
+	g.pace.arrivals = p.arrivals
+	g.pace.think = p.think
+	g.applyPace()
+	elig := make([]sim.Time, spec.OpsPerTenant)
+	copy(elig, p.arrivals)
+	return g, elig, nil
+}
 
-	// Closed-loop eligibility depends on completions, so it is derived
-	// after the run: op k became eligible when op k-1 completed plus the
-	// think gap (op 0 after the initial think from t=0).
-	if spec.Arrival.Kind == ClosedLoop {
-		for t, g := range groups {
-			done := g.DoneAt()
-			for k := range eligible[t] {
-				var base sim.Time
-				if k > 0 {
-					base = done[k-1]
-				}
-				if g.pace.think != nil {
-					base = base.Add(g.pace.think[k])
-				}
-				eligible[t][k] = base
+// deriveClosedLoopEligibility back-fills closed-loop eligibility after
+// a run: op k became eligible when op k-1 completed plus the think gap
+// (op 0 after the initial think from t=0). Open-loop eligibility was
+// fixed at planning time, so this is a no-op there.
+func deriveClosedLoopEligibility(spec WorkloadSpec, groups []*Group, eligible [][]sim.Time) {
+	if spec.Arrival.Kind != ClosedLoop {
+		return
+	}
+	for t, g := range groups {
+		done := g.DoneAt()
+		for k := range eligible[t] {
+			var base sim.Time
+			if k > 0 {
+				base = done[k-1]
 			}
+			if g.pace.think != nil {
+				base = base.Add(g.pace.think[k])
+			}
+			eligible[t][k] = base
 		}
 	}
+}
 
-	res := WorkloadResult{TotalOps: spec.Tenants * spec.OpsPerTenant}
+// collectWorkload verifies and aggregates a finished run's groups into
+// a WorkloadResult. plans supply the workload-wide tenant indices, so
+// a shard reporting a subset of tenants labels them by their global
+// identity.
+func collectWorkload(c *Cluster, spec WorkloadSpec, plans []tenantPlan,
+	groups []*Group, eligible [][]sim.Time) (WorkloadResult, error) {
+	res := WorkloadResult{TotalOps: len(groups) * spec.OpsPerTenant}
 	var makespan sim.Time
 	var sumTput, sumTputSq float64
 	lat := make([]float64, spec.OpsPerTenant)
-	for t, g := range groups {
+	for i, g := range groups {
 		if err := verifyAllreduce(g); err != nil {
 			return WorkloadResult{}, err
 		}
@@ -337,7 +363,7 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 			// and in-flight time (first post to global completion).
 			startAt := g.StartAt()
 			for k, at := range done {
-				c.tr.OpSpan(int(g.ID), g.Kind.String(), eligible[t][k], startAt[k], at)
+				c.tr.OpSpan(int(g.ID), g.Kind.String(), eligible[i][k], startAt[k], at)
 			}
 		}
 		last := done[len(done)-1]
@@ -346,7 +372,7 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 		}
 		var sum, maxL float64
 		for k, at := range done {
-			l := at.Sub(eligible[t][k]).Micros()
+			l := at.Sub(eligible[i][k]).Micros()
 			lat[k] = l
 			sum += l
 			if l > maxL {
@@ -356,7 +382,7 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 		sort.Float64s(lat)
 		tput := float64(len(done)) / (last.Micros() / 1e6)
 		res.Tenants = append(res.Tenants, TenantResult{
-			Tenant:    t,
+			Tenant:    plans[i].idx,
 			GroupID:   g.ID,
 			Size:      g.Size(),
 			Kind:      g.Kind,
@@ -373,7 +399,7 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 	}
 	res.MakespanUS = makespan.Micros()
 	res.AggOpsPerSec = float64(res.TotalOps) / (res.MakespanUS / 1e6)
-	res.Fairness = sumTput * sumTput / (float64(spec.Tenants) * sumTputSq)
+	res.Fairness = sumTput * sumTput / (float64(len(groups)) * sumTputSq)
 	var net netsim.Counters
 	if c.My != nil {
 		net = c.My.Net.Counters()
@@ -385,6 +411,41 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 		res.Decomp = c.tr.Decomp()
 	}
 	return res, nil
+}
+
+// RunWorkload generates spec's tenants over the cluster, runs every
+// stream to completion concurrently, and reports throughput, latency and
+// fairness. All randomness derives from spec.Seed; runs are
+// bit-deterministic. Allreduce tenants' results are verified against the
+// reference reduction, so cross-tenant contamination of NIC state cannot
+// pass silently.
+func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
+	nodes := c.Nodes()
+	if err := spec.validate(nodes); err != nil {
+		return WorkloadResult{}, err
+	}
+	plans, err := planTenants(nodes, spec, c.El != nil)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	groups := make([]*Group, len(plans))
+	eligible := make([][]sim.Time, len(plans)) // per tenant, per op
+	for i, p := range plans {
+		g, elig, err := installTenant(c, spec, p)
+		if err != nil {
+			return WorkloadResult{}, err
+		}
+		groups[i], eligible[i] = g, elig
+	}
+
+	for _, g := range groups {
+		g.Launch(spec.OpsPerTenant)
+	}
+	c.DriveAll()
+	c.Eng.Run() // drain trailing traffic so counters are complete
+
+	deriveClosedLoopEligibility(spec, groups, eligible)
+	return collectWorkload(c, spec, plans, groups, eligible)
 }
 
 // allreduceContrib is the deterministic per-rank contribution workload
@@ -530,18 +591,12 @@ type churnTenant struct {
 	lastDone sim.Time
 }
 
-// RunChurn executes spec's tenant churn on the cluster and reports
-// throughput, admission and lifecycle statistics. All randomness derives
-// from spec.Seed; runs are bit-deterministic. It returns an error when a
-// tenant's install fails under the configured policy (AdmitError on a
-// full NIC, a queued install that can never be served) — under
-// AdmitQueue with departing tenants the run completes by construction.
-func RunChurn(c *Cluster, spec ChurnSpec) (ChurnResult, error) {
-	nodes := c.Nodes()
-	if err := spec.validate(nodes); err != nil {
-		return ChurnResult{}, err
-	}
-	c.SetAdmission(AdmissionConfig{Policy: spec.Policy, ChargeSetupCosts: spec.ChargeSetupCosts})
+// planChurn draws every churn tenant's lifecycle (arrival instant,
+// size, membership, optional reconfiguration target, think times) from
+// spec.Seed. Like planTenants, the draw order is a compatibility
+// contract: partitioned churn runs execute the same lifecycles a
+// single-cluster run would.
+func planChurn(nodes int, spec ChurnSpec) []*churnTenant {
 	rng := sim.NewRNG(spec.Seed ^ 0xc42917)
 	minSize, maxSize := spec.sizeBounds(nodes)
 
@@ -564,8 +619,29 @@ func RunChurn(c *Cluster, spec ChurnSpec) (ChurnResult, error) {
 		}
 		tenants[t] = tn
 	}
+	return tenants
+}
 
-	res := ChurnResult{Tenants: spec.Tenants}
+// churnOutcome is the raw product of one cluster's churn run, merged by
+// finalizeChurn. Keeping the raw queue waits and latency histograms
+// (rather than summarized percentiles) lets a sharded run compute exact
+// statistics over all shards combined.
+type churnOutcome struct {
+	completed                  int
+	lastDepart                 sim.Time
+	reconfigs, reconfigsFailed int
+	st                         AdmissionStats
+	pre, post                  obs.Histogram
+	sent, dropped              uint64
+}
+
+// runChurnPlans executes the given tenant lifecycles on one cluster —
+// the whole workload, or one shard's round-robin slice of it — and
+// returns the raw outcome.
+func runChurnPlans(c *Cluster, spec ChurnSpec, tenants []*churnTenant) (churnOutcome, error) {
+	c.SetAdmission(AdmissionConfig{Policy: spec.Policy, ChargeSetupCosts: spec.ChargeSetupCosts})
+
+	var out churnOutcome
 	var failure error
 	var lastDepart sim.Time
 	completed := 0
@@ -619,9 +695,9 @@ func RunChurn(c *Cluster, spec ChurnSpec) (ChurnResult, error) {
 					tn.swapped = true
 					g.Reset()
 					if err := g.Reconfigure(tn.newMembrs); err != nil {
-						res.ReconfigsFailed++ // keep the old membership
+						out.reconfigsFailed++ // keep the old membership
 					} else {
-						res.Reconfigs++
+						out.reconfigs++
 					}
 					if tn.think != nil {
 						// The pacer indexes by run-local iteration, which
@@ -645,32 +721,69 @@ func RunChurn(c *Cluster, spec ChurnSpec) (ChurnResult, error) {
 		})
 	}
 
-	finished := func() bool { return failure != nil || completed == spec.Tenants }
+	finished := func() bool { return failure != nil || completed == len(tenants) }
 	if !c.Eng.RunCondition(finished) && failure == nil {
 		st := c.AdmissionStats()
-		return ChurnResult{}, fmt.Errorf(
+		return churnOutcome{}, fmt.Errorf(
 			"comm: churn deadlocked with %d of %d tenants complete (%d installs still queued)",
-			completed, spec.Tenants, st.QueueLen)
+			completed, len(tenants), st.QueueLen)
 	}
 	if failure != nil {
-		return ChurnResult{}, failure
+		return churnOutcome{}, failure
 	}
 	c.Eng.Run() // drain trailing teardown charges and wire traffic
 
-	res.Completed = completed
-	res.TotalOps = completed * spec.OpsPerTenant
+	out.completed = completed
+	out.lastDepart = lastDepart
+	out.st = c.AdmissionStats()
+	out.pre, out.post = preLat, postLat
+	var net netsim.Counters
+	if c.My != nil {
+		net = c.My.Net.Counters()
+	} else {
+		net = c.El.Net.Counters()
+	}
+	out.sent, out.dropped = net.Sent, net.Dropped
+	return out, nil
+}
+
+// finalizeChurn merges one outcome per cluster into the reported
+// statistics: counts sum, high-water marks take the maximum, and the
+// wait/latency distributions are pooled before percentiles are taken.
+func finalizeChurn(spec ChurnSpec, outs []churnOutcome) ChurnResult {
+	res := ChurnResult{Tenants: spec.Tenants}
+	var waits []float64
+	var preLat, postLat obs.Histogram
+	var lastDepart sim.Time
+	for i := range outs {
+		o := &outs[i]
+		res.Completed += o.completed
+		res.Installs += o.st.Installs
+		res.Uninstalls += o.st.Uninstalls
+		res.QueuedInstalls += o.st.Queued
+		if o.st.MaxQueueLen > res.MaxQueueLen {
+			res.MaxQueueLen = o.st.MaxQueueLen
+		}
+		if o.st.SlotHighWater > res.SlotHighWater {
+			res.SlotHighWater = o.st.SlotHighWater
+		}
+		res.Reconfigs += o.reconfigs
+		res.ReconfigsFailed += o.reconfigsFailed
+		waits = append(waits, o.st.WaitsUS...)
+		preLat.Merge(&o.pre)
+		postLat.Merge(&o.post)
+		if o.lastDepart > lastDepart {
+			lastDepart = o.lastDepart
+		}
+		res.Sent += o.sent
+		res.Dropped += o.dropped
+	}
+	res.TotalOps = res.Completed * spec.OpsPerTenant
 	res.MakespanUS = lastDepart.Micros()
 	if res.MakespanUS > 0 {
 		res.AggOpsPerSec = float64(res.TotalOps) / (res.MakespanUS / 1e6)
 	}
-	st := c.AdmissionStats()
-	res.Installs = st.Installs
-	res.Uninstalls = st.Uninstalls
-	res.QueuedInstalls = st.Queued
-	res.MaxQueueLen = st.MaxQueueLen
-	res.SlotHighWater = st.SlotHighWater
-	if len(st.WaitsUS) > 0 {
-		waits := append([]float64(nil), st.WaitsUS...)
+	if len(waits) > 0 {
 		sort.Float64s(waits)
 		var sum float64
 		for _, w := range waits {
@@ -689,14 +802,25 @@ func RunChurn(c *Cluster, spec ChurnSpec) (ChurnResult, error) {
 		res.PostSwapOps = int(s.Count)
 		res.PostSwapP50US, res.PostSwapP95US, res.PostSwapP99US = s.P50US, s.P95US, s.P99US
 	}
-	var net netsim.Counters
-	if c.My != nil {
-		net = c.My.Net.Counters()
-	} else {
-		net = c.El.Net.Counters()
+	return res
+}
+
+// RunChurn executes spec's tenant churn on the cluster and reports
+// throughput, admission and lifecycle statistics. All randomness derives
+// from spec.Seed; runs are bit-deterministic. It returns an error when a
+// tenant's install fails under the configured policy (AdmitError on a
+// full NIC, a queued install that can never be served) — under
+// AdmitQueue with departing tenants the run completes by construction.
+func RunChurn(c *Cluster, spec ChurnSpec) (ChurnResult, error) {
+	nodes := c.Nodes()
+	if err := spec.validate(nodes); err != nil {
+		return ChurnResult{}, err
 	}
-	res.Sent, res.Dropped = net.Sent, net.Dropped
-	return res, nil
+	out, err := runChurnPlans(c, spec, planChurn(nodes, spec))
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	return finalizeChurn(spec, []churnOutcome{out}), nil
 }
 
 // percentile returns the nearest-rank percentile of sorted values.

@@ -49,6 +49,20 @@ func NewGroup(id GroupID, nodes []int, myRank int) *Group {
 	return g
 }
 
+// WithRank returns rank's view of the same group, sharing the immutable
+// membership slice and node→rank index. Session constructors build one
+// group per member; deriving the per-member views from a single base
+// keeps that loop linear in the group size instead of quadratic (the
+// index is built, and membership validated, exactly once).
+func (g *Group) WithRank(rank int) *Group {
+	if rank < 0 || rank >= len(g.Nodes) {
+		panic(fmt.Sprintf("core: rank %d outside group of %d", rank, len(g.Nodes)))
+	}
+	view := *g
+	view.MyRank = rank
+	return &view
+}
+
 // Size reports the number of ranks.
 func (g *Group) Size() int { return len(g.Nodes) }
 

@@ -138,13 +138,14 @@ func NewSessionWithID(cl *Cluster, gid core.GroupID, nodeIDs []int, scheme Schem
 	if scheme == SchemeHW {
 		cl.hw.configure(s.nodeIDs)
 	}
+	base := core.NewGroup(gid, s.nodeIDs, 0)
 	for rank := range s.nodeIDs {
 		id := s.nodeIDs[rank]
 		m := &member{
 			s:     s,
 			rank:  rank,
 			node:  cl.Nodes[id],
-			group: core.NewGroup(gid, s.nodeIDs, rank),
+			group: base.WithRank(rank),
 		}
 		switch scheme {
 		case SchemeChained:

@@ -339,4 +339,5 @@ func init() {
 	registerFaultScenarios()
 	registerTenantScenarios()
 	registerLifecycleScenarios()
+	registerPartitionScenarios()
 }

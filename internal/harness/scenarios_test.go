@@ -10,7 +10,8 @@ func TestRegistryHasAllExperiments(t *testing.T) {
 	want := []string{"fig5", "fig6", "fig7", "fig8a", "fig8b", "summary", "ablation",
 		"packets", "skew", "faults", "faults-burst", "faults-jitter",
 		"multi-tenant", "multi-tenant-mixed",
-		"group-churn", "reconfigure-cost", "faults-victim-tenant"}
+		"group-churn", "reconfigure-cost", "faults-victim-tenant",
+		"multi-tenant-1024", "shard-scale"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %v", got)

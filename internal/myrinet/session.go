@@ -215,13 +215,14 @@ func newAllreduceSession(cl *Cluster, gid core.GroupID, nodeIDs []int,
 		return nil, err
 	}
 	s := &Session{cl: cl, gid: gid, nodeIDs: append([]int(nil), nodeIDs...), scheme: SchemeCollective}
+	base := core.NewGroup(gid, s.nodeIDs, 0)
 	for rank := range s.nodeIDs {
 		id := s.nodeIDs[rank]
 		m := &member{
 			s:     s,
 			rank:  rank,
 			node:  cl.Nodes[id],
-			group: core.NewGroup(gid, s.nodeIDs, rank),
+			group: base.WithRank(rank),
 			sched: scheds[rank],
 		}
 		if err := m.node.NIC.InstallReduceGroup(m.group, m.sched, op); err != nil {
@@ -267,13 +268,14 @@ func newSession(cl *Cluster, gid core.GroupID, nodeIDs []int, scheme Scheme,
 		return nil, err
 	}
 	s := &Session{cl: cl, gid: gid, nodeIDs: append([]int(nil), nodeIDs...), scheme: scheme, gated: gated}
+	base := core.NewGroup(gid, s.nodeIDs, 0)
 	for rank := range s.nodeIDs {
 		id := s.nodeIDs[rank]
 		m := &member{
 			s:     s,
 			rank:  rank,
 			node:  cl.Nodes[id],
-			group: core.NewGroup(gid, s.nodeIDs, rank),
+			group: base.WithRank(rank),
 			sched: scheds[rank],
 		}
 		switch scheme {

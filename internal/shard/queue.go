@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"nicbarrier/internal/sim"
+)
+
+// Msg is one cross-shard message: an event the destination shard must
+// schedule at virtual time At. The (From, At, Seq) triple totally
+// orders all messages a shard receives in a window — Seq is a
+// per-source running counter, so two messages from the same shard at
+// the same virtual time are delivered in the order they were sent, and
+// messages from different shards are ordered by shard ID. That total
+// order is what makes multi-partition runs reproducible: delivery
+// order never depends on goroutine interleaving.
+type Msg struct {
+	From int      // source shard ID
+	At   sim.Time // virtual delivery time (≥ sender's window end + lookahead slack)
+	Seq  uint64   // per-source sequence number, assigned by Runner.Send
+	Node int      // destination node (global ID); interpretation is up to the receiver
+	Data any      // opaque payload handed to the shard's deliver callback
+}
+
+// Queue is a lock-free multi-producer single-consumer inbound queue:
+// any shard goroutine may Push concurrently during a window; only the
+// owning shard Drains, and only at a window barrier when no producer
+// is running. Push is a Treiber-stack CAS loop (wait-free for the
+// consumer, lock-free for producers); Drain reverses the LIFO chain
+// and then sorts by (From, At, Seq) so the arrival order of CAS
+// winners — which is scheduling-dependent — never leaks into delivery
+// order.
+type Queue struct {
+	head atomic.Pointer[msgNode]
+}
+
+type msgNode struct {
+	msg  Msg
+	next *msgNode
+}
+
+// Push enqueues a message. Safe for concurrent use by any number of
+// producer goroutines.
+func (q *Queue) Push(m Msg) {
+	n := &msgNode{msg: m}
+	for {
+		old := q.head.Load()
+		n.next = old
+		if q.head.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// Drain removes all queued messages and returns them sorted by
+// (From, At, Seq). It must only be called while no producer can Push —
+// the Runner calls it at window barriers. The buf slice is reused when
+// it has capacity.
+func (q *Queue) Drain(buf []Msg) []Msg {
+	n := q.head.Swap(nil)
+	buf = buf[:0]
+	for ; n != nil; n = n.next {
+		buf = append(buf, n.msg)
+	}
+	sort.Slice(buf, func(i, j int) bool {
+		a, b := buf[i], buf[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Seq < b.Seq
+	})
+	return buf
+}
+
+// Empty reports whether the queue currently holds no messages. Like
+// Drain it is only meaningful at a barrier, but it is safe to call
+// concurrently (a racing Push may or may not be observed).
+func (q *Queue) Empty() bool { return q.head.Load() == nil }

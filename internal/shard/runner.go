@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"nicbarrier/internal/sim"
+)
+
+// Runner drives one sim.Engine per shard through conservative
+// lookahead windows. Each window [W, W+L) — L being the lookahead —
+// runs every shard's engine concurrently on its own goroutine; the
+// conservative invariant (no cross-shard message can be delivered
+// inside the window it was sent in) means the shards cannot observe
+// each other mid-window, so the parallelism is free of both data races
+// and result races. At the window barrier the coordinator drains every
+// inbound queue — fixing the batch of messages each shard sees at that
+// barrier independently of goroutine timing — and then computes the
+// next window start as the minimum over all shards of the next
+// pending event or message time, so idle stretches of virtual time are
+// skipped in one jump rather than stepped through L nanoseconds at a
+// time.
+//
+// A Runner is not safe for concurrent use by multiple coordinators;
+// Send is safe exactly where the model needs it to be: from shard
+// goroutines during a window.
+type Runner struct {
+	look   sim.Duration
+	winEnd sim.Time // end of the window currently (or last) executed
+	shards []runnerShard
+
+	windows   uint64
+	delivered uint64
+}
+
+type runnerShard struct {
+	eng     *sim.Engine
+	deliver func(Msg)
+	in      Queue
+	seq     uint64 // per-source sequence; touched only by this shard's goroutine
+	pending []Msg  // barrier-drained batch, reused across windows
+}
+
+// NewRunner builds a runner over one engine per shard. lookahead must
+// be positive (use MinCrossLatency); deliver is invoked on the
+// destination shard's goroutine at the start of a window, once per
+// inbound message in (From, At, Seq) order, and must only touch that
+// shard's state — typically it schedules a handler on engines[shard]
+// at m.At.
+func NewRunner(lookahead sim.Duration, engines []*sim.Engine, deliver func(shard int, m Msg)) *Runner {
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("shard: non-positive lookahead %v", lookahead))
+	}
+	if len(engines) == 0 {
+		panic("shard: runner with no shards")
+	}
+	r := &Runner{look: lookahead, shards: make([]runnerShard, len(engines))}
+	for i, e := range engines {
+		i := i
+		r.shards[i] = runnerShard{eng: e, deliver: func(m Msg) { deliver(i, m) }}
+	}
+	return r
+}
+
+// Lookahead reports the window length the runner synchronizes on.
+func (r *Runner) Lookahead() sim.Duration { return r.look }
+
+// Windows reports how many lookahead windows have been executed.
+func (r *Runner) Windows() uint64 { return r.windows }
+
+// Delivered reports how many cross-shard messages have been handed to
+// deliver callbacks.
+func (r *Runner) Delivered() uint64 { return r.delivered }
+
+// Send queues a cross-shard message from shard `from` to shard `to`,
+// to take effect at virtual time `at` on the destination. It must be
+// called from shard from's goroutine while a window is executing, and
+// at must lie at or beyond the window's end — the conservative
+// invariant. A violation panics: it means the claimed lookahead was
+// larger than the model's true minimum cross-shard latency, which
+// would silently corrupt causality if allowed through.
+func (r *Runner) Send(from, to int, at sim.Time, node int, data any) {
+	if at < r.winEnd {
+		panic(fmt.Sprintf("shard: lookahead violation: %d→%d at %v inside window ending %v",
+			from, to, at, r.winEnd))
+	}
+	sh := &r.shards[from]
+	sh.seq++
+	r.shards[to].in.Push(Msg{From: from, At: at, Seq: sh.seq, Node: node, Data: data})
+}
+
+// Run executes windows until no shard has pending events or messages,
+// or until stop (checked at every barrier; nil means never) reports
+// true. Each barrier: drain queues, pick the earliest next event or
+// message time W across shards, run every shard to W+lookahead-1 in
+// parallel, repeat.
+func (r *Runner) Run(stop func() bool) {
+	for {
+		if stop != nil && stop() {
+			return
+		}
+		// Barrier phase: no shard goroutine is running, so draining is
+		// race-free and the batch each shard will see is fixed here —
+		// exactly the messages sent in prior windows — rather than
+		// depending on how far sibling goroutines had gotten.
+		haveWork := false
+		var next sim.Time
+		for i := range r.shards {
+			sh := &r.shards[i]
+			sh.pending = sh.in.Drain(sh.pending)
+			for _, m := range sh.pending {
+				if !haveWork || m.At < next {
+					haveWork, next = true, m.At
+				}
+			}
+			if t, ok := sh.eng.NextAt(); ok && (!haveWork || t < next) {
+				haveWork, next = true, t
+			}
+			r.delivered += uint64(len(sh.pending))
+		}
+		if !haveWork {
+			return
+		}
+		end := next.Add(r.look)
+		r.winEnd = end
+		r.windows++
+
+		var wg sync.WaitGroup
+		wg.Add(len(r.shards))
+		for i := range r.shards {
+			sh := &r.shards[i]
+			go func() {
+				defer wg.Done()
+				for _, m := range sh.pending {
+					sh.deliver(m)
+				}
+				sh.pending = sh.pending[:0]
+				// RunUntil is inclusive, so end-1 keeps the window
+				// half-open: events at exactly `end` belong to the next
+				// window.
+				sh.eng.RunUntil(end - 1)
+			}()
+		}
+		wg.Wait()
+	}
+}

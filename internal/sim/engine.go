@@ -344,6 +344,18 @@ func (e *Engine) RunCondition(pred func() bool) bool {
 // event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// NextAt reports the timestamp of the next live (not cancelled) event,
+// or ok == false when the queue is empty. Cancelled entries that have
+// surfaced at the queue head are collected as a side effect. The
+// partitioned runtime (internal/shard) uses it to skip empty lookahead
+// windows: the coordinator advances every shard straight to the
+// earliest pending event instead of stepping fixed windows through
+// idle virtual time.
+func (e *Engine) NextAt() (Time, bool) {
+	en, ok := e.peek()
+	return en.at, ok
+}
+
 // peek returns the next live entry without firing it, lazily discarding
 // cancelled entries that have surfaced at the queue head.
 func (e *Engine) peek() (entry, bool) {

@@ -161,8 +161,22 @@ type Config struct {
 	// cluster built from this Config: packet-lifecycle records, NIC
 	// firmware events, per-op spans and latency-decomposition metrics,
 	// exportable as a Chrome trace (see NewTrace). Tracing never alters
-	// the simulated timeline; results stay bit-identical.
+	// the simulated timeline; results stay bit-identical. Under
+	// Partitions > 1 each shard gets its own scope (suffixed "/shardN"
+	// for N ≥ 1), since scopes record from one engine goroutine each.
 	Trace *Trace
+	// Partitions runs multi-tenant workloads (RunWorkload/RunChurn and
+	// the Measure* wrappers over them) on that many replica shards in
+	// parallel, dealing tenants round-robin across them. 0 or 1 (the
+	// default) is the single-partition path, bit-identical to the
+	// historical results; P > 1 keeps every tenant's membership, kind,
+	// operation count and pacing draws identical but simulates
+	// cross-tenant contention only within a shard. Results are
+	// bit-deterministic per (Seed, Partitions) pair. Unitless count;
+	// values above Tenants leave the extra shards idle. Single-group
+	// measurements (Barrier/Broadcast/Allreduce) always run on one
+	// partition.
+	Partitions int
 }
 
 // Result summarizes one measurement.
@@ -203,6 +217,9 @@ func (c Config) validate() error {
 	}
 	if c.LossRate < 0 || c.LossRate >= 1 {
 		return fmt.Errorf("nicbarrier: LossRate = %v outside [0,1)", c.LossRate)
+	}
+	if c.Partitions < 0 {
+		return fmt.Errorf("nicbarrier: Partitions = %d", c.Partitions)
 	}
 	quadrics := c.Interconnect == QuadricsElan3
 	if c.Scheme == HardwareBroadcast && !quadrics {

@@ -123,7 +123,7 @@ func TestMeasureBroadcast(t *testing.T) {
 }
 
 func TestRunExperimentFacade(t *testing.T) {
-	if len(Experiments()) != 17 {
+	if len(Experiments()) != 19 {
 		t.Fatalf("experiments: %v", Experiments())
 	}
 	out, err := RunExperiment("packets", Quick)

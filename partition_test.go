@@ -1,0 +1,196 @@
+package nicbarrier
+
+import (
+	"testing"
+)
+
+// partitionWorkloadConfig is the shared-node multi-tenant shape the
+// cross-shard determinism tests run: overlapping memberships, a mixed
+// op stream (the allreduce tenants self-check every iteration's
+// result), and closed-loop pacing with think time so the RNG draw
+// order is exercised end to end.
+func partitionWorkloadConfig(partitions int) (Config, WorkloadSpec) {
+	cfg := Config{
+		Interconnect: MyrinetLANaiXP,
+		Nodes:        32,
+		Scheme:       NICCollective,
+		Algorithm:    Dissemination,
+		Seed:         42,
+		Partitions:   partitions,
+	}
+	spec := WorkloadSpec{
+		Tenants: 12, OpsPerTenant: 10,
+		GroupSizeMin: 3, GroupSizeMax: 6,
+		Overlap:       true,
+		BarrierWeight: 2, BroadcastWeight: 1, AllreduceWeight: 1,
+		Arrival: ClosedLoop, MeanGapMicros: 5,
+	}
+	return cfg, spec
+}
+
+// TestWorkloadPartitionInvariants runs the same seeded workload at 1,
+// 2 and 4 partitions and requires the partition-invariant fields to
+// match exactly: every tenant keeps its membership size, operation
+// kind and op count whatever the shard layout, total ops are
+// conserved, and the allreduce self-checks (inside RunWorkload) pass
+// at every partition count.
+func TestWorkloadPartitionInvariants(t *testing.T) {
+	type tenantKey struct {
+		size int
+		op   string
+		ops  int
+	}
+	var base []tenantKey
+	for _, parts := range []int{1, 2, 4} {
+		cfg, spec := partitionWorkloadConfig(parts)
+		res, err := MeasureWorkload(cfg, spec)
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", parts, err)
+		}
+		if len(res.Tenants) != spec.Tenants {
+			t.Fatalf("partitions=%d: %d tenant rows, want %d", parts, len(res.Tenants), spec.Tenants)
+		}
+		if want := spec.Tenants * spec.OpsPerTenant; res.TotalOps != want {
+			t.Fatalf("partitions=%d: TotalOps %d, want %d", parts, res.TotalOps, want)
+		}
+		keys := make([]tenantKey, len(res.Tenants))
+		for i, tr := range res.Tenants {
+			if tr.Tenant != i {
+				t.Fatalf("partitions=%d: tenant row %d reports index %d (merge order broken)",
+					parts, i, tr.Tenant)
+			}
+			keys[i] = tenantKey{size: tr.GroupSize, op: tr.Operation, ops: tr.Ops}
+		}
+		if base == nil {
+			base = keys
+			continue
+		}
+		for i := range keys {
+			if keys[i] != base[i] {
+				t.Fatalf("partitions=%d: tenant %d is %+v, was %+v at 1 partition",
+					parts, i, keys[i], base[i])
+			}
+		}
+	}
+}
+
+// TestWorkloadPartitionedBitDeterminism runs the 4-partition workload
+// twice and requires bit-identical results: the parallel shards and
+// the merge must hide goroutine scheduling entirely.
+func TestWorkloadPartitionedBitDeterminism(t *testing.T) {
+	run := func() WorkloadResult {
+		cfg, spec := partitionWorkloadConfig(4)
+		res, err := MeasureWorkload(cfg, spec)
+		if err != nil {
+			t.Fatalf("MeasureWorkload: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalOps != b.TotalOps || a.MakespanMicros != b.MakespanMicros ||
+		a.AggregateOpsPerSec != b.AggregateOpsPerSec || a.Fairness != b.Fairness ||
+		a.Packets != b.Packets || a.DroppedPackets != b.DroppedPackets {
+		t.Fatalf("aggregate results differ across runs:\n%+v\n%+v", a, b)
+	}
+	for i := range a.Tenants {
+		if a.Tenants[i] != b.Tenants[i] {
+			t.Fatalf("tenant %d differs across runs:\n%+v\n%+v", i, a.Tenants[i], b.Tenants[i])
+		}
+	}
+}
+
+// TestChurnPartitionInvariants runs the same seeded churn at 1, 2 and
+// 4 partitions: every tenant completes its lifecycle at every
+// partition count, and op totals are conserved. (Admission contention
+// is shard-local, so queue statistics legitimately vary with the
+// layout; completion does not.)
+func TestChurnPartitionInvariants(t *testing.T) {
+	spec := ChurnSpec{
+		Tenants: 24, OpsPerTenant: 6,
+		GroupSizeMin: 2, GroupSizeMax: 4,
+		MeanArrivalGapMicros: 3,
+		ReconfigureEvery:     3,
+		Policy:               AdmitQueue,
+		ChargeInstallCosts:   true,
+	}
+	for _, parts := range []int{1, 2, 4} {
+		cfg := Config{
+			Interconnect: MyrinetLANaiXP,
+			Nodes:        16,
+			Seed:         42,
+			Partitions:   parts,
+		}
+		res, err := MeasureChurn(cfg, spec)
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", parts, err)
+		}
+		if res.Completed != spec.Tenants {
+			t.Fatalf("partitions=%d: %d of %d tenants completed", parts, res.Completed, spec.Tenants)
+		}
+		if want := spec.Tenants * spec.OpsPerTenant; res.TotalOps != want {
+			t.Fatalf("partitions=%d: TotalOps %d, want %d", parts, res.TotalOps, want)
+		}
+	}
+}
+
+// TestChurnPartitionedBitDeterminism runs the 4-partition churn twice
+// and requires identical results field for field.
+func TestChurnPartitionedBitDeterminism(t *testing.T) {
+	run := func() ChurnResult {
+		cfg := Config{
+			Interconnect: MyrinetLANaiXP,
+			Nodes:        16,
+			Seed:         7,
+			Partitions:   4,
+		}
+		res, err := MeasureChurn(cfg, ChurnSpec{
+			Tenants: 20, OpsPerTenant: 6,
+			GroupSizeMin: 2, GroupSizeMax: 4,
+			MeanArrivalGapMicros: 2,
+			MeanThinkMicros:      10,
+			Policy:               AdmitQueue,
+			ChargeInstallCosts:   true,
+		})
+		if err != nil {
+			t.Fatalf("MeasureChurn: %v", err)
+		}
+		return res
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("churn results differ across runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestPartitionsSinglePartitionIdentical pins the bit-identity
+// contract: Partitions 0 and 1 produce exactly the historical
+// single-cluster result.
+func TestPartitionsSinglePartitionIdentical(t *testing.T) {
+	run := func(parts int) WorkloadResult {
+		cfg, spec := partitionWorkloadConfig(parts)
+		res, err := MeasureWorkload(cfg, spec)
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", parts, err)
+		}
+		return res
+	}
+	a, b := run(0), run(1)
+	if a.TotalOps != b.TotalOps || a.MakespanMicros != b.MakespanMicros ||
+		a.Fairness != b.Fairness || a.Packets != b.Packets {
+		t.Fatalf("Partitions 0 vs 1 diverge:\n%+v\n%+v", a, b)
+	}
+	for i := range a.Tenants {
+		if a.Tenants[i] != b.Tenants[i] {
+			t.Fatalf("tenant %d differs between Partitions 0 and 1", i)
+		}
+	}
+}
+
+// TestPartitionsValidation rejects a negative partition count.
+func TestPartitionsValidation(t *testing.T) {
+	_, err := NewCluster(Config{
+		Interconnect: MyrinetLANaiXP, Nodes: 8, Partitions: -1,
+	})
+	if err == nil {
+		t.Fatal("Partitions = -1 accepted")
+	}
+}
