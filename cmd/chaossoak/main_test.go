@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSoakBankPasses(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-seeds", "5"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "all invariants held") {
+		t.Fatalf("missing pass line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "10 runs") {
+		t.Fatalf("expected 5 seeds x 2 backends = 10 runs:\n%s", out.String())
+	}
+}
+
+func TestVerboseReplay(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-backend", "myrinet", "-seed0", "3", "-seeds", "1", "-v"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "seed 3") || !strings.Contains(out.String(), "crash-") {
+		t.Fatalf("verbose run did not print its schedule:\n%s", out.String())
+	}
+}
+
+func TestBadFlagsRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-backend", "infiniband"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown backend accepted (exit %d)", code)
+	}
+	if code := realMain([]string{"-seeds", "0"}, &out, &errb); code != 1 {
+		t.Fatalf("zero seeds accepted (exit %d)", code)
+	}
+}

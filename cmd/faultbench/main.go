@@ -283,6 +283,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			if seedSet {
 				r.cfg.Seed = *seed
 			}
+			// Surface indefinitely-blocking faults before measuring: an
+			// unbounded crash would hang the deadline-less run below, and
+			// the warning is the only explanation the user would get.
+			for _, w := range nicbarrier.ValidateFaults(r.cfg.Faults) {
+				fmt.Fprintf(stderr, "faultbench: %s/%s: warning: %s\n", sc.name, r.label, w)
+			}
 			res, err := nicbarrier.MeasureBarrier(r.cfg, r.warmup, r.iters)
 			if err != nil {
 				return fail("%s/%s: %v", sc.name, r.label, err)

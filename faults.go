@@ -180,6 +180,24 @@ func (f Fault) String() string {
 	return fmt.Sprintf("Fault(%s)", f.rule.Name)
 }
 
+// ValidateFaults returns one human-readable warning per fault that can
+// wedge a run forever: blocking faults (crash, partition) whose window
+// never closes silence a node or link permanently, so any barrier
+// spanning them deadlocks unless the communicator layer runs with an
+// operation deadline that detects the stall and evicts the member. An
+// empty slice means no fault is indefinitely blocking. Invalid or zero
+// Fault values are skipped here — MeasureBarrier rejects them itself.
+func ValidateFaults(faults []Fault) []string {
+	plan := fault.NewPlan(0)
+	for _, f := range faults {
+		if f.err != nil || f.rule.Effect == nil {
+			continue
+		}
+		plan.Add(f.rule)
+	}
+	return plan.Validate()
+}
+
 // compileFaults builds the stateful fault.Plan for one measurement run.
 // lineRateMBps patches throttle faults that were declared without
 // knowledge of the interconnect.

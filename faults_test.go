@@ -38,7 +38,9 @@ func TestQuadricsUnaffectedByLossOnlyFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	lossy := base
-	lossy.Faults = []Fault{FaultRandomLoss(0.30), FaultEveryNth(2), FaultCrash(1)}
+	// Link-loss faults only: fail-stop crashes are NOT link loss and DO
+	// reach Quadrics (see TestQuadricsCrashDropsRDMAs in internal/fault).
+	lossy.Faults = []Fault{FaultRandomLoss(0.30), FaultEveryNth(2)}
 	faulted, err := MeasureBarrier(lossy, 2, 30)
 	if err != nil {
 		t.Fatal(err)
@@ -102,6 +104,25 @@ func TestDegenerateFaultParamsRejected(t *testing.T) {
 		if _, err := MeasureBarrier(cfg, 0, 1); err == nil {
 			t.Errorf("%s accepted", name)
 		}
+	}
+}
+
+// Unbounded blocking faults must be flagged: without an op deadline a
+// barrier spanning them never completes, and the warning is the only
+// up-front signal a caller gets.
+func TestValidateFaults(t *testing.T) {
+	warns := ValidateFaults([]Fault{FaultCrash(3), FaultPartition(1, 2)})
+	if len(warns) != 2 {
+		t.Fatalf("warnings = %v, want one per unbounded blocking fault", warns)
+	}
+	for _, w := range warns {
+		if !strings.Contains(w, "blocks forever") {
+			t.Fatalf("warning %q does not name the hazard", w)
+		}
+	}
+	benign := []Fault{FaultCrash(3).Between(0, 300), FaultRandomLoss(0.1), {}}
+	if warns := ValidateFaults(benign); len(warns) != 0 {
+		t.Fatalf("bounded or non-blocking faults flagged: %v", warns)
 	}
 }
 

@@ -1,0 +1,50 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The soak's own gate: across a bank of seeds on both backends, every
+// invariant must hold, and the machinery must actually engage — a bank
+// where nothing was ever evicted or retried would mean the schedule
+// generator stopped producing meaningful faults.
+func TestSoakInvariantsAcrossSeeds(t *testing.T) {
+	var evictions, retries int
+	for _, backend := range []Backend{Myrinet, Elan} {
+		for seed := uint64(1); seed <= 10; seed++ {
+			rep, err := Soak(Spec{Backend: backend, Seed: seed, BurstLoss: true, SlowNIC: true})
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", backend, seed, err)
+			}
+			if !rep.OK() {
+				t.Errorf("%v seed %d violations: %v\n schedule: %s", backend, seed, rep.Violations, rep.Schedule)
+			}
+			evictions += rep.Evictions
+			retries += rep.Retries
+		}
+	}
+	if evictions == 0 {
+		t.Error("no evictions across the whole seed bank: faults not landing")
+	}
+	if retries == 0 {
+		t.Error("no retries across the whole seed bank: deadlines never fired")
+	}
+}
+
+// Same seed, same spec — same report, byte for byte. A violating seed
+// must replay exactly or it cannot be debugged.
+func TestSoakDeterministic(t *testing.T) {
+	spec := Spec{Backend: Myrinet, Seed: 7, BurstLoss: true, SlowNIC: true}
+	a, err := Soak(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Soak(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("soak not reproducible:\n a: %+v\n b: %+v", a, b)
+	}
+}

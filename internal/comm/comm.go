@@ -78,6 +78,7 @@ type session interface {
 	StartAt() []sim.Time
 	Run(iters int) []sim.Time
 	Reset()
+	Abort()
 	Close()
 	ChargeInstall()
 }
@@ -98,6 +99,11 @@ type Cluster struct {
 	// tr, when non-nil, is the observability scope the workload engines
 	// emit per-operation spans and per-tenant metrics into.
 	tr *obs.Scope
+
+	// hbRoute routes heartbeat deliveries and NACK-stall signals to the
+	// recovery that owns each group ID; nil until the first SetRecovery
+	// (see recovery.go).
+	hbRoute map[core.GroupID]*recovery
 }
 
 // SetTracer attaches an observability scope to the communicator layer
@@ -218,6 +224,12 @@ type Group struct {
 
 	// pace shapes the group's operation stream during workloads.
 	pace pacer
+
+	// rec is the group's fail-stop survival machinery; nil unless
+	// SetRecovery was called (see recovery.go).
+	rec *recovery
+	// evictedNodes lists node IDs removed by Evict, in order.
+	evictedNodes []int
 }
 
 // NewGroup creates a communicator over the given members, installing its
@@ -317,6 +329,9 @@ func (g *Group) attach() {
 // and finalizes a deferred Close once the run has drained.
 func (g *Group) onIterDone(iter int, at sim.Time) {
 	g.opsDone++
+	if g.rec != nil {
+		g.rec.onProgress(iter, at)
+	}
 	if g.userOnDone != nil {
 		g.userOnDone(iter, at)
 	}
@@ -373,6 +388,9 @@ func (g *Group) Run(iters int) []sim.Time {
 	if g.sess == nil {
 		panic("comm: Run on a queued group (drive the cluster until it installs)")
 	}
+	if g.rec != nil {
+		panic("comm: Run on a recovery-enabled group (use RunDeadline)")
+	}
 	g.launched = true
 	return g.sess.Run(iters)
 }
@@ -399,7 +417,17 @@ func (g *Group) Launch(iters int) {
 		return
 	}
 	g.launched = true
+	g.launchSess(iters)
+}
+
+// launchSess posts iters operations on the bound session and arms the
+// recovery machinery when configured; the single funnel for every
+// launch path (direct, queued replay, recovery relaunch).
+func (g *Group) launchSess(iters int) {
 	g.sess.Launch(iters)
+	if g.rec != nil {
+		g.rec.onLaunch(iters)
+	}
 }
 
 // Done reports whether every launched operation completed.
@@ -454,6 +482,9 @@ func (g *Group) Close() error {
 func (g *Group) finalizeClose() {
 	g.closing = false
 	g.closed = true
+	if g.rec != nil {
+		g.rec.stop()
+	}
 	g.sess.Close()
 	g.c.sched.release(g.gc, g.Members)
 }
@@ -514,9 +545,19 @@ func (g *Group) Results() [][]int64 {
 // launched — e.g. the survivors of a workload setup that failed partway
 // — are not waited on; neither are closed groups.
 func (c *Cluster) DriveAll() {
+	// A recovering group is waited on through its whole deadline run
+	// (rec.inFlight), including abort/backoff windows where it is
+	// momentarily not launched; a terminally failed one clears
+	// inFlight and is abandoned — its error is on Err().
+	waiting := func(g *Group) bool {
+		if g.rec != nil {
+			return g.rec.inFlight
+		}
+		return g.launched && !g.closed && !g.Done()
+	}
 	done := func() bool {
 		for _, g := range c.groups {
-			if g.launched && !g.closed && !g.Done() {
+			if waiting(g) {
 				return false
 			}
 		}
@@ -526,7 +567,7 @@ func (c *Cluster) DriveAll() {
 		var stuck []core.GroupID
 		var queued int
 		for _, g := range c.groups {
-			if g.launched && !g.closed && !g.Done() {
+			if waiting(g) {
 				stuck = append(stuck, g.ID)
 				if g.sess == nil {
 					queued++

@@ -278,7 +278,7 @@ func (s *sched) drain() {
 		if head.pendingIters > 0 {
 			iters := head.pendingIters
 			head.pendingIters = 0
-			head.sess.Launch(iters)
+			head.launchSess(iters)
 		}
 	}
 }

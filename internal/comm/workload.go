@@ -81,6 +81,14 @@ type WorkloadSpec struct {
 	Algorithm barrier.Algorithm
 	// Seed drives membership, mix assignment and arrival draws.
 	Seed uint64
+	// Recovery, when its OpDeadline is nonzero, arms fail-stop
+	// survival on every tenant group (see Group.SetRecovery): op
+	// deadlines, heartbeat failure detection, eviction and
+	// retry-with-backoff. Tenants whose recovery fails terminally end
+	// their stream early and report Failed instead of hanging the
+	// workload. The zero value disables all of it — the bit-identical
+	// baseline path.
+	Recovery RecoveryConfig
 }
 
 // gapFor resolves tenant t's mean arrival/think gap.
@@ -142,6 +150,11 @@ type pacer struct {
 	// think holds the closed-loop per-op think times; nil when both this
 	// and arrivals are unset (back-to-back chaining).
 	think []sim.Duration
+	// off shifts the session-local iteration index to the tenant-global
+	// op index. It is zero except after a recovery rebuild, where the
+	// relaunched session restarts numbering at 0 but the tenant's
+	// arrival/think schedule must continue where it left off.
+	off int
 }
 
 // active reports whether the pacer shapes anything (an inactive pacer
@@ -151,13 +164,20 @@ func (p *pacer) active() bool { return p.arrivals != nil || p.think != nil }
 // nextAt is the session gate: the earliest virtual time iteration next
 // may post on this rank. Allocation-free.
 func (p *pacer) nextAt(rank, next int) sim.Time {
+	k := next + p.off
 	if p.arrivals != nil {
-		return p.arrivals[next]
+		if k >= len(p.arrivals) {
+			k = len(p.arrivals) - 1
+		}
+		return p.arrivals[k]
 	}
 	if p.think == nil {
 		return 0
 	}
-	return p.eng.Now().Add(p.think[next])
+	if k >= len(p.think) {
+		k = len(p.think) - 1
+	}
+	return p.eng.Now().Add(p.think[k])
 }
 
 // expGap draws an exponential gap with the given mean (microseconds).
@@ -177,6 +197,14 @@ type TenantResult struct {
 	MeanUS, P50US, P95US, P99US, MaxUS float64
 	// OpsPerSec is the tenant's throughput over virtual time.
 	OpsPerSec float64
+	// Fail-stop survival accounting (zero unless WorkloadSpec.Recovery
+	// is armed): Failed marks a terminal op-timeout (the stream ended
+	// after Ops of the requested operations), Evicted counts members
+	// removed from the group, Retries counts survived abort/relaunch
+	// cycles.
+	Failed  bool
+	Evicted int
+	Retries int
 }
 
 // WorkloadResult aggregates a full multi-tenant run.
@@ -191,6 +219,11 @@ type WorkloadResult struct {
 	// Fairness is Jain's index over per-tenant throughputs: 1.0 means
 	// perfectly even service, 1/N means one tenant got everything.
 	Fairness float64
+	// FailedTenants counts tenants whose recovery failed terminally;
+	// Evictions sums members evicted across all tenants (both zero
+	// without WorkloadSpec.Recovery).
+	FailedTenants int
+	Evictions     int
 	// Wire accounting over the whole run.
 	Sent, Dropped uint64
 	// Decomp is the latency decomposition per op type (queue-wait vs
@@ -315,9 +348,26 @@ func installTenant(c *Cluster, spec WorkloadSpec, p tenantPlan) (*Group, []sim.T
 	g.pace.arrivals = p.arrivals
 	g.pace.think = p.think
 	g.applyPace()
+	if spec.Recovery.OpDeadline > 0 {
+		if err := g.SetRecovery(spec.Recovery); err != nil {
+			g.Close()
+			return nil, nil, fmt.Errorf("comm: tenant %d: %w", p.idx, err)
+		}
+	}
 	elig := make([]sim.Time, spec.OpsPerTenant)
 	copy(elig, p.arrivals)
 	return g, elig, nil
+}
+
+// tenantDone returns a tenant's completed-op times: the recovery ledger
+// when survival is armed (completions span rebuilt sessions, and the
+// final session may have been aborted), the session's own record
+// otherwise.
+func tenantDone(g *Group) []sim.Time {
+	if st := g.Recovery(); st != nil {
+		return st.DoneTimes
+	}
+	return g.DoneAt()
 }
 
 // deriveClosedLoopEligibility back-fills closed-loop eligibility after
@@ -329,8 +379,11 @@ func deriveClosedLoopEligibility(spec WorkloadSpec, groups []*Group, eligible []
 		return
 	}
 	for t, g := range groups {
-		done := g.DoneAt()
+		done := tenantDone(g)
 		for k := range eligible[t] {
+			if k > len(done) {
+				break // ops beyond the completed stream never became eligible
+			}
 			var base sim.Time
 			if k > 0 {
 				base = done[k-1]
@@ -349,31 +402,59 @@ func deriveClosedLoopEligibility(spec WorkloadSpec, groups []*Group, eligible []
 // identity.
 func collectWorkload(c *Cluster, spec WorkloadSpec, plans []tenantPlan,
 	groups []*Group, eligible [][]sim.Time) (WorkloadResult, error) {
-	res := WorkloadResult{TotalOps: len(groups) * spec.OpsPerTenant}
+	var res WorkloadResult
 	var makespan sim.Time
 	var sumTput, sumTputSq float64
-	lat := make([]float64, spec.OpsPerTenant)
+	lat := make([]float64, 0, spec.OpsPerTenant)
 	for i, g := range groups {
-		if err := verifyAllreduce(g); err != nil {
+		if err := verifyTenantAllreduce(g); err != nil {
 			return WorkloadResult{}, err
 		}
-		done := g.DoneAt()
-		if c.tr != nil {
+		st := g.Recovery()
+		done := tenantDone(g)
+		res.TotalOps += len(done)
+		tr := TenantResult{
+			Tenant:  plans[i].idx,
+			GroupID: g.ID,
+			Size:    g.Size(),
+			Kind:    g.Kind,
+			Ops:     len(done),
+		}
+		if st != nil {
+			tr.Failed = st.Err != nil
+			tr.Evicted = len(st.Evicted)
+			tr.Retries = st.Retries
+			if tr.Failed {
+				res.FailedTenants++
+			}
+			res.Evictions += tr.Evicted
+		}
+		if c.tr != nil && (st == nil || st.Retries == 0) {
 			// Emit one span per op: queue wait (eligible to first post)
-			// and in-flight time (first post to global completion).
+			// and in-flight time (first post to global completion). A
+			// tenant that retried relaunched on fresh sessions, so the
+			// post record no longer lines up with the tenant-global op
+			// index — its spans are skipped.
 			startAt := g.StartAt()
 			for k, at := range done {
 				c.tr.OpSpan(int(g.ID), g.Kind.String(), eligible[i][k], startAt[k], at)
 			}
 		}
+		if len(done) == 0 {
+			// Terminal failure before the first completion: the zeroed,
+			// Failed-flagged row keeps the tenant visible in the report.
+			res.Tenants = append(res.Tenants, tr)
+			continue
+		}
 		last := done[len(done)-1]
 		if last > makespan {
 			makespan = last
 		}
+		lat = lat[:0]
 		var sum, maxL float64
 		for k, at := range done {
 			l := at.Sub(eligible[i][k]).Micros()
-			lat[k] = l
+			lat = append(lat, l)
 			sum += l
 			if l > maxL {
 				maxL = l
@@ -381,25 +462,23 @@ func collectWorkload(c *Cluster, spec WorkloadSpec, plans []tenantPlan,
 		}
 		sort.Float64s(lat)
 		tput := float64(len(done)) / (last.Micros() / 1e6)
-		res.Tenants = append(res.Tenants, TenantResult{
-			Tenant:    plans[i].idx,
-			GroupID:   g.ID,
-			Size:      g.Size(),
-			Kind:      g.Kind,
-			Ops:       len(done),
-			MeanUS:    sum / float64(len(done)),
-			P50US:     percentile(lat, 0.50),
-			P95US:     percentile(lat, 0.95),
-			P99US:     percentile(lat, 0.99),
-			MaxUS:     maxL,
-			OpsPerSec: tput,
-		})
+		tr.MeanUS = sum / float64(len(done))
+		tr.P50US = percentile(lat, 0.50)
+		tr.P95US = percentile(lat, 0.95)
+		tr.P99US = percentile(lat, 0.99)
+		tr.MaxUS = maxL
+		tr.OpsPerSec = tput
+		res.Tenants = append(res.Tenants, tr)
 		sumTput += tput
 		sumTputSq += tput * tput
 	}
 	res.MakespanUS = makespan.Micros()
-	res.AggOpsPerSec = float64(res.TotalOps) / (res.MakespanUS / 1e6)
-	res.Fairness = sumTput * sumTput / (float64(len(groups)) * sumTputSq)
+	if res.MakespanUS > 0 {
+		res.AggOpsPerSec = float64(res.TotalOps) / (res.MakespanUS / 1e6)
+	}
+	if sumTputSq > 0 {
+		res.Fairness = sumTput * sumTput / (float64(len(groups)) * sumTputSq)
+	}
 	var net netsim.Counters
 	if c.My != nil {
 		net = c.My.Net.Counters()
@@ -451,6 +530,43 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 // allreduceContrib is the deterministic per-rank contribution workload
 // allreduce tenants feed in; verifyAllreduce recomputes it.
 func allreduceContrib(rank, iter int) int64 { return int64(rank*31 + iter*7 - 11) }
+
+// verifyTenantAllreduce checks an allreduce tenant's results against the
+// reference reduction. A group that retried under recovery verifies its
+// ledger rows epoch by epoch — each eviction shrinks the membership, so
+// the expected reduction changes at every epoch boundary.
+func verifyTenantAllreduce(g *Group) error {
+	st := g.Recovery()
+	if st == nil || st.Retries == 0 {
+		return verifyAllreduce(g)
+	}
+	if g.Kind != OpAllreduce {
+		return nil
+	}
+	epochs := st.Epochs
+	e := 0
+	for iter, row := range st.Rows {
+		for e+1 < len(epochs) && epochs[e+1].FromOp <= iter {
+			e++
+		}
+		size := len(epochs[e].Members)
+		if len(row) != size {
+			return fmt.Errorf("comm: group %d allreduce op %d: %d results for a membership of %d",
+				g.ID, iter, len(row), size)
+		}
+		want := allreduceContrib(0, iter)
+		for r := 1; r < size; r++ {
+			want = core.ReduceMax.Combine(want, allreduceContrib(r, iter))
+		}
+		for rank, got := range row {
+			if got != want {
+				return fmt.Errorf("comm: group %d allreduce op %d rank %d: got %d, want %d",
+					g.ID, iter, rank, got, want)
+			}
+		}
+	}
+	return nil
+}
 
 // verifyAllreduce checks every iteration's result on every rank against
 // the reference reduction — the cheap invariant that proves concurrent

@@ -125,6 +125,8 @@ func mergeWorkload(spec WorkloadSpec, results []WorkloadResult) WorkloadResult {
 	var kinds []string
 	for _, r := range results {
 		res.TotalOps += r.TotalOps
+		res.FailedTenants += r.FailedTenants
+		res.Evictions += r.Evictions
 		res.Tenants = append(res.Tenants, r.Tenants...)
 		if r.MakespanUS > makespanUS {
 			makespanUS = r.MakespanUS
@@ -150,8 +152,12 @@ func mergeWorkload(spec WorkloadSpec, results []WorkloadResult) WorkloadResult {
 		sumTputSq += t.OpsPerSec * t.OpsPerSec
 	}
 	res.MakespanUS = makespanUS
-	res.AggOpsPerSec = float64(res.TotalOps) / (res.MakespanUS / 1e6)
-	res.Fairness = sumTput * sumTput / (float64(len(res.Tenants)) * sumTputSq)
+	if res.MakespanUS > 0 {
+		res.AggOpsPerSec = float64(res.TotalOps) / (res.MakespanUS / 1e6)
+	}
+	if sumTputSq > 0 {
+		res.Fairness = sumTput * sumTput / (float64(len(res.Tenants)) * sumTputSq)
+	}
 	if len(kinds) > 0 {
 		sort.Strings(kinds)
 		for _, k := range kinds {

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOpTimeout is wrapped by the communicator layer when a launched
+// collective misses its simulated-time deadline. Callers match on it
+// with errors.Is to distinguish "a member stopped participating" from
+// configuration errors; the concrete *OpTimeoutError carries the
+// suspect ranks the failure detector accumulated.
+var ErrOpTimeout = errors.New("collective operation deadline exceeded")
+
+// OpTimeoutError is the context of one deadline expiry: the group that
+// stalled, the group-level operation sequence it stalled at, and the
+// member ranks the failure detector suspects. Suspects is the
+// detector's view at expiry time — under heartbeat detection it is
+// exactly the silent members; before the detector's silence threshold
+// has been reached it may be empty even though the operation stalled.
+type OpTimeoutError struct {
+	Group    GroupID
+	Op       int
+	Suspects []int
+}
+
+// Error implements error.
+func (e *OpTimeoutError) Error() string {
+	return fmt.Sprintf("group %d: op %d: %v (suspects %v)", int(e.Group), e.Op, ErrOpTimeout, e.Suspects)
+}
+
+// Unwrap makes errors.Is(err, ErrOpTimeout) hold.
+func (e *OpTimeoutError) Unwrap() error { return ErrOpTimeout }
+
+// Heartbeat is the keepalive payload the communicator-layer failure
+// detector exchanges between group members. It lives in core (not in a
+// backend package) so both NIC models can route it without importing
+// the comm layer: the packets travel through netsim like any other
+// traffic, so crashes and partitions silence them exactly as they
+// silence protocol messages — that is what makes the silence a
+// trustworthy fail-stop signal.
+type Heartbeat struct {
+	Group GroupID
+	Rank  int
+}

@@ -172,6 +172,19 @@ func (o *OpState) advance() (sends []int, completed bool) {
 	return sends, true
 }
 
+// Abort force-quiesces the state machine after a deadline expiry: the
+// active operation (if any) is abandoned without its missing arrivals
+// and the early buffer is discarded, so teardown paths that refuse to
+// run mid-operation (UninstallGroup, DisarmChain, session Close) become
+// legal. The aborted sequence number stays consumed — its partial state
+// is meaningless — and the caller must not restart the group: recovery
+// installs a fresh group (new ID, fresh records) instead.
+func (o *OpState) Abort() {
+	o.active = false
+	o.step = len(o.sched.Steps)
+	clear(o.early)
+}
+
 // Missing lists the peer ranks whose notifications for the active
 // operation have not arrived — the NACK targets of receiver-driven
 // retransmission. It is nil when no operation is active.

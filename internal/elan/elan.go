@@ -146,6 +146,12 @@ type NIC struct {
 
 	chains map[core.GroupID]*chainOp
 
+	// OnHeartbeat, when set, observes liveness heartbeats addressed to
+	// this node (communicator-layer failure detection). Routed here, at
+	// the NIC, so heartbeats ride the simulated wire and are silenced by
+	// the same crashes and partitions that stall the collectives.
+	OnHeartbeat func(group core.GroupID, fromRank int)
+
 	// retired remembers recently disarmed chain IDs (keyed to their
 	// disarm time): QsNet delivers reliably, so post-teardown arrivals
 	// only happen when a delay-type fault holds an RDMA in flight; the
@@ -186,6 +192,11 @@ type Stats struct {
 	// StaleRDMAs counts arrivals addressed to a disarmed chain (possible
 	// only when a delay-type fault holds an RDMA past its group's drain).
 	StaleRDMAs uint64
+	// Failure-detection and abort accounting (zero unless a recovery
+	// config is active on some group).
+	HeartbeatsSent  uint64
+	HeartbeatsRecvd uint64
+	AbortedOps      uint64
 }
 
 // chainOp is a NIC-resident chained-descriptor barrier: the compiled form
@@ -195,6 +206,10 @@ type chainOp struct {
 	group   *core.Group
 	state   *core.OpState
 	nextSeq int
+	// frozen marks a chain aborted mid-operation (deadline expiry): late
+	// doorbells and arrivals count stale instead of touching state, so
+	// the chain can be disarmed without waiting out in-flight RDMAs.
+	frozen bool
 }
 
 // NewNode builds one node attached to net.
@@ -332,8 +347,46 @@ func (n *NIC) mustChain(id core.GroupID) *chainOp {
 	return op
 }
 
+// AbortChain cancels a group's in-flight chained operation: the
+// schedule state is quiesced (so DisarmChain's idle check passes) and
+// the chain frozen — late doorbells and arrivals for it count stale.
+// The SRAM slot stays occupied until DisarmChain, exactly as in the
+// orderly path. Aborting an unknown chain panics.
+func (n *NIC) AbortChain(id core.GroupID) {
+	op, ok := n.chains[id]
+	if !ok {
+		panic(fmt.Sprintf("elan: node %d: aborting unknown chain %d", n.node.ID, id))
+	}
+	op.state.Abort()
+	op.frozen = true
+	n.Stats.AbortedOps++
+	n.traceEvent(int(id), obs.KindOpTimeout, 0)
+}
+
+// SendHeartbeat emits one zero-payload liveness probe to dstNode over
+// the simulated network. No NIC time is charged: the probe models a
+// periodic event-unit write far below the simulator's cost resolution,
+// and heartbeats must not perturb gated timelines.
+func (n *NIC) SendHeartbeat(group core.GroupID, fromRank, dstNode int) {
+	n.net.Send(netsim.Packet{
+		Src:     n.node.ID,
+		Dst:     dstNode,
+		Size:    8,
+		Kind:    "heartbeat",
+		Group:   int(group),
+		Payload: core.Heartbeat{Group: group, Rank: fromRank},
+	})
+	n.Stats.HeartbeatsSent++
+}
+
 func (n *NIC) startChain(id core.GroupID) {
 	op := n.mustChain(id)
+	if op.frozen {
+		// A doorbell posted before the abort landed after it.
+		n.Stats.StaleRDMAs++
+		n.traceEvent(int(id), obs.KindStale, int64(op.nextSeq))
+		return
+	}
 	seq := op.nextSeq
 	op.nextSeq++
 	n.traceEvent(int(id), obs.KindDoorbell, int64(seq))
@@ -356,6 +409,9 @@ func (n *NIC) fireRDMAs(op *chainOp, seq int, ranks []int) {
 		payload := rdmaMsg{group: op.group.ID, seq: seq, fromRank: op.group.MyRank}
 		n.traceTime(int(op.group.ID), p.DMADescCycles, p.SendFixed)
 		n.exec(p.DMADescCycles, p.SendFixed, func() {
+			if op.frozen {
+				return // descriptor invalidated by an abort while queued
+			}
 			n.net.Send(netsim.Packet{
 				Src:     n.node.ID,
 				Dst:     dst,
@@ -375,6 +431,12 @@ func (n *NIC) onPacket(pkt netsim.Packet) {
 		n.onRDMA(m, pkt.Src)
 	case hwBarrierMsg:
 		n.onHWBroadcast(m)
+	case core.Heartbeat:
+		// Liveness probes bypass the event unit: no NIC time charged.
+		n.Stats.HeartbeatsRecvd++
+		if n.OnHeartbeat != nil {
+			n.OnHeartbeat(m.Group, m.Rank)
+		}
 	default:
 		panic(fmt.Sprintf("elan: node %d: unknown payload %T", n.node.ID, pkt.Payload))
 	}
@@ -403,6 +465,11 @@ func (n *NIC) onRDMA(m rdmaMsg, fromNode int) {
 			return
 		}
 		op := n.mustChain(m.group)
+		if op.frozen {
+			n.Stats.StaleRDMAs++
+			n.traceEvent(int(m.group), obs.KindStale, int64(m.seq))
+			return
+		}
 		sends, done, err := op.state.Arrive(m.seq, m.fromRank)
 		if err != nil {
 			panic(fmt.Sprintf("elan: node %d: %v", n.node.ID, err))
@@ -427,6 +494,9 @@ func (n *NIC) completeChain(op *chainOp, seq int) {
 	n.traceEvent(int(op.group.ID), obs.KindComplete, int64(seq))
 	n.traceTime(int(op.group.ID), 0, p.HostEventWrite)
 	n.exec(0, p.HostEventWrite, func() {
+		if op.frozen {
+			return // completion overtaken by an abort
+		}
 		n.node.Host.deliver(Event{Kind: EvBarrierDone, Group: int(op.group.ID), Seq: seq})
 	})
 }
@@ -508,10 +578,13 @@ func (cl *Cluster) SetTracer(sc *obs.Scope) {
 
 // SetFaults installs a fault-injection impairment on the cluster's
 // network, wrapped in netsim.DelayOnly: QsNet provides hardware-level
-// reliable delivery, so loss-type effects (drop, reject, crash, blocking)
-// are stripped and only latency-type effects (delay, jitter, throttling)
-// take hold. A loss-only plan therefore leaves a Quadrics cluster's
-// behavior bit-identical to the fault-free run.
+// reliable delivery, so link-loss effects (drop, reject, blocking) are
+// stripped and only latency-type effects (delay, jitter, throttling)
+// take hold. Fail-stop outcomes (fault.Crash) pass through — hardware
+// reliability recovers lost packets, not dead endpoints — so a crashed
+// node silences a Quadrics cluster exactly as it does a Myrinet one.
+// A link-loss-only plan still leaves a Quadrics cluster's behavior
+// bit-identical to the fault-free run.
 func (cl *Cluster) SetFaults(imp netsim.Impairment) {
 	if imp == nil {
 		cl.Net.SetImpairment(nil)
@@ -533,6 +606,9 @@ func (cl *Cluster) Stats() Stats {
 		total.ChainsRun += node.NIC.Stats.ChainsRun
 		total.HWBarriers += node.NIC.Stats.HWBarriers
 		total.StaleRDMAs += node.NIC.Stats.StaleRDMAs
+		total.HeartbeatsSent += node.NIC.Stats.HeartbeatsSent
+		total.HeartbeatsRecvd += node.NIC.Stats.HeartbeatsRecvd
+		total.AbortedOps += node.NIC.Stats.AbortedOps
 	}
 	return total
 }

@@ -63,6 +63,9 @@ type Session struct {
 	base int
 	// closed marks a torn-down session.
 	closed bool
+	// aborted marks a run cancelled mid-flight (deadline expiry); the
+	// only legal next step is Close (see the Myrinet session's Abort).
+	aborted bool
 	// gen counts run generations; see the Myrinet session's gen for why
 	// complete guards its chained posts with it.
 	gen int
@@ -85,6 +88,9 @@ type member struct {
 	hwSeq int
 	// deferSeq is the iteration a NextAt-deferred start posts on Fire.
 	deferSeq int
+	// deferTimer holds the pending NextAt deferral so Abort can cancel
+	// it (a fired or zero timer cancels as a no-op).
+	deferTimer sim.Timer
 }
 
 // Fire implements sim.Event (allocation-free deferred starts).
@@ -181,6 +187,9 @@ func (s *Session) Launch(iters int) {
 	if s.closed {
 		panic("elan: Launch on a closed session")
 	}
+	if s.aborted {
+		panic("elan: Launch on an aborted session (install a new one)")
+	}
 	if s.iters != 0 {
 		panic("elan: session launched twice (Reset between runs)")
 	}
@@ -203,6 +212,9 @@ func (s *Session) Launch(iters int) {
 // Reset readies a finished session for another Launch; the chains stay
 // armed and their sequence space continues.
 func (s *Session) Reset() {
+	if s.aborted {
+		panic("elan: Reset on an aborted session (install a new one)")
+	}
 	if s.iters > 0 && !s.Done() {
 		panic("elan: Reset mid-run")
 	}
@@ -243,6 +255,34 @@ func (s *Session) Close() {
 // Closed reports whether the session has been torn down.
 func (s *Session) Closed() bool { return s.closed }
 
+// Abort cancels the current run mid-flight: pending NextAt deferrals
+// are cancelled, gsync host-side schedule state is quiesced, and each
+// member card's chain is frozen, leaving descriptor-slot accounting
+// consistent for the Close that must follow. Idle, finished, and
+// closed sessions abort as a no-op.
+func (s *Session) Abort() {
+	if s.closed || s.iters == 0 || s.Done() {
+		return
+	}
+	s.aborted = true
+	s.gen++ // void any in-flight OnIterDone-chained posts
+	for _, m := range s.members {
+		m.deferTimer.Cancel()
+		m.deferTimer = sim.Timer{}
+		if m.hostOp != nil {
+			m.hostOp.Abort()
+		}
+		if s.scheme == SchemeChained {
+			m.node.NIC.AbortChain(s.gid)
+		}
+	}
+	s.iters = 0
+	s.doneAt, s.startAt, s.pending = nil, nil, nil
+}
+
+// Aborted reports whether the session was cancelled mid-run.
+func (s *Session) Aborted() bool { return s.aborted }
+
 // ChargeInstall charges every member card's chain-install cost on the
 // simulated timeline (chained sessions only; the other schemes keep no
 // NIC-resident per-group state). See the Myrinet session's ChargeInstall
@@ -262,7 +302,7 @@ func (s *Session) post(m *member, seq int) {
 	if s.NextAt != nil {
 		if at := s.NextAt(m.rank, seq-s.base); at > s.cl.Eng.Now() {
 			m.deferSeq = seq
-			s.cl.Eng.ScheduleEvent(at, m)
+			m.deferTimer = s.cl.Eng.ScheduleEvent(at, m)
 			return
 		}
 	}
@@ -340,6 +380,9 @@ func (s *Session) RunSkewed(skew []sim.Duration) sim.Duration {
 
 // complete records one member's completion of absolute operation seq.
 func (s *Session) complete(rank, seq int) {
+	if s.aborted {
+		return // late completion racing the abort; the run is void
+	}
 	rel := seq - s.base
 	if rel >= s.iters {
 		panic(fmt.Sprintf("elan: completion for iteration %d beyond %d", rel, s.iters))

@@ -55,9 +55,10 @@ func TestMyrinetBarrierSurvives20PercentLoss(t *testing.T) {
 	}
 }
 
-// A loss-only fault plan cannot touch Quadrics: the Elan substrate wraps
-// impairments in netsim.DelayOnly, so the faulted run is bit-identical to
-// the clean one.
+// A link-loss-only fault plan cannot touch Quadrics: the Elan substrate
+// wraps impairments in netsim.DelayOnly, so the faulted run is
+// bit-identical to the clean one. (Fail-stop crashes are NOT link loss
+// and do pass through — see TestQuadricsCrashDropsRDMAs.)
 func TestQuadricsImmuneToLossOnlyPlan(t *testing.T) {
 	measure := func(plan *fault.Plan) []sim.Time {
 		eng := sim.NewEngine()
@@ -75,11 +76,36 @@ func TestQuadricsImmuneToLossOnlyPlan(t *testing.T) {
 		return doneAt
 	}
 	clean := measure(nil)
-	lossy := measure(fault.NewPlan(3, fault.Loss(0.5), fault.DropEveryNth(2), fault.Crash(3, fault.Window{})))
+	lossy := measure(fault.NewPlan(3, fault.Loss(0.5), fault.DropEveryNth(2)))
 	for i := range clean {
 		if clean[i] != lossy[i] {
 			t.Fatalf("iteration %d: clean %v vs lossy-plan %v", i, clean[i], lossy[i])
 		}
+	}
+}
+
+// Fail-stop crashes pass through the DelayOnly wrapper: hardware
+// reliability recovers lost packets, not dead endpoints. A permanent
+// crash therefore silences a Quadrics barrier — RDMAs to and from the
+// victim drop as fail-stop and the group stalls instead of completing
+// (recovery from this state is the communicator layer's op-deadline
+// machinery, not the substrate's).
+func TestQuadricsCrashDropsRDMAs(t *testing.T) {
+	eng := sim.NewEngine()
+	cl := elan.NewCluster(eng, hwprofile.Elan3Cluster(), 8)
+	cl.SetFaults(fault.NewPlan(3, fault.Crash(3, fault.Window{})))
+	s := elan.NewSession(cl, identityIDs(8), elan.SchemeChained,
+		barrier.Dissemination, barrier.Options{})
+	s.Launch(5)
+	if eng.RunCondition(s.Done) {
+		t.Fatal("barrier completed despite a permanently crashed member")
+	}
+	net := cl.Net.Counters()
+	if net.FailStopped == 0 {
+		t.Fatalf("crash produced no fail-stop drops: %+v", net)
+	}
+	if net.Dropped != net.FailStopped {
+		t.Fatalf("non-fail-stop drops on a hardware-reliable network: %+v", net)
 	}
 }
 

@@ -267,9 +267,34 @@ func (p *Plan) apply(stage Stage, pkt netsim.Packet, t sim.Time) netsim.Outcome 
 		}
 		out.Drop = out.Drop || o.Drop
 		out.Reject = out.Reject || o.Reject
+		out.FailStop = out.FailStop || o.FailStop
 		out.Delay += o.Delay
 	}
 	return out
+}
+
+// Validate returns one human-readable warning per rule that can wedge a
+// collective forever: blocking effects (Crash, Partition, BlockPort)
+// whose window never closes (Window.To == 0). Such a rule silences a
+// node or link permanently, so any barrier spanning it deadlocks unless
+// the communicator layer runs with an operation deadline
+// (comm.RecoveryConfig) that detects the stall and evicts the member.
+// An empty slice means no rule is indefinitely blocking.
+func (p *Plan) Validate() []string {
+	var warns []string
+	for i := range p.rules {
+		r := &p.rules[i]
+		if _, blocking := r.Effect.(Block); !blocking {
+			continue
+		}
+		if r.Window.To != 0 {
+			continue
+		}
+		warns = append(warns, fmt.Sprintf(
+			"rule %q blocks forever (window has no end): barriers spanning it deadlock unless an op deadline is set",
+			r.Name))
+	}
+	return warns
 }
 
 // Stats returns a snapshot of per-rule accounting, in rule order.
@@ -468,14 +493,19 @@ func (e Throttle) Clone() Effect { return e }
 // reject observer).
 type Block struct {
 	Reject bool
+	// FailStop marks the discard as a whole-node failure rather than a
+	// link impairment. Only Crash sets it: hardware-reliable networks
+	// (netsim.DelayOnly) strip link-level blocks but must honor
+	// fail-stop ones — reliability cannot make a dead node participate.
+	FailStop bool
 }
 
 // Apply implements Effect.
 func (e Block) Apply(netsim.Packet, sim.Time, *sim.RNG) netsim.Outcome {
 	if e.Reject {
-		return netsim.Outcome{Reject: true}
+		return netsim.Outcome{Reject: true, FailStop: e.FailStop}
 	}
-	return netsim.Outcome{Drop: true}
+	return netsim.Outcome{Drop: true, FailStop: e.FailStop}
 }
 
 // Clone implements Effect.
@@ -547,16 +577,20 @@ func BlockPort(node int, reject bool, w Window) Rule {
 	}
 }
 
-// Crash models a whole-node failure during w: everything the node sends or
-// receives is silently dropped. A crash with no end (w.To == 0) will
-// deadlock any barrier the node participates in — use a bounded window for
-// recovery experiments.
+// Crash models a whole-node (fail-stop) failure during w: everything the
+// node sends or receives is silently dropped, on Myrinet and — unlike
+// link-level loss — on hardware-reliable Quadrics too (the FailStop mark
+// survives netsim.DelayOnly). A crash with no end (w.To == 0) will
+// deadlock any barrier the node participates in unless the communicator
+// layer runs with an operation deadline (comm.RecoveryConfig), which
+// detects the silence and evicts the member; Plan.Validate flags such
+// windows so deadline-less runs do not hang silently.
 func Crash(node int, w Window) Rule {
 	return Rule{
 		Name:   fmt.Sprintf("crash-%d", node),
 		Match:  Node(node),
 		Window: w,
-		Effect: Block{},
+		Effect: Block{FailStop: true},
 	}
 }
 

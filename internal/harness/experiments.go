@@ -337,6 +337,7 @@ func init() {
 	RegisterScenario(Scenario{ID: "skew",
 		Title: "Section 8.2: barrier cost under process entry skew", Figure: Skew})
 	registerFaultScenarios()
+	registerRecoveryScenarios()
 	registerTenantScenarios()
 	registerLifecycleScenarios()
 	registerPartitionScenarios()

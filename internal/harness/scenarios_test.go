@@ -9,6 +9,7 @@ import (
 func TestRegistryHasAllExperiments(t *testing.T) {
 	want := []string{"fig5", "fig6", "fig7", "fig8a", "fig8b", "summary", "ablation",
 		"packets", "skew", "faults", "faults-burst", "faults-jitter",
+		"crash-recovery", "recovery-deadline",
 		"multi-tenant", "multi-tenant-mixed",
 		"group-churn", "reconfigure-cost", "faults-victim-tenant",
 		"multi-tenant-1024", "shard-scale"}

@@ -37,7 +37,24 @@ type collOp struct {
 	// impairments it breaks retransmission resonance outright (a
 	// one-in-N filter cannot discard two consecutive packets on a flow).
 	nackServed map[[2]int]int
+	// nackRound counts consecutive fruitless NACK timer rounds for the
+	// active operation (reset by any accepted arrival); past
+	// nackStallRounds the NIC raises OnNackStall — NACK recovery repairs
+	// lost packets, not dead peers, so an escalating count is the
+	// protocol-level smell of a fail-stop failure.
+	nackRound int
+	// frozen marks an aborted entry: the slot stays claimed until
+	// UninstallGroup, but late doorbells, arrivals and NACKs count as
+	// stale instead of touching protocol state — an aborted operation
+	// must not restart from a straggler packet.
+	frozen bool
 }
+
+// nackStallRounds is how many consecutive fruitless NACK rounds raise
+// OnNackStall. Transient loss is repaired in one or two rounds (the
+// second already escalates to duplicated replies); four rounds of
+// silence mean the peer is not answering at all.
+const nackStallRounds = 4
 
 // sendValue is the integer the static packet carries to toRank for
 // operation seq: the recorded partial snapshot for allreduce, zero for
@@ -139,6 +156,32 @@ func (n *NIC) pruneRetired() {
 	}
 }
 
+// AbortGroup force-quiesces a group's NIC-resident operation after a
+// deadline expiry: the NACK timer is cancelled, the bit-vector state
+// abandons its active operation, and the entry freezes — late
+// doorbells, arrivals and NACKs for it count as stale instead of
+// touching protocol state. The slot stays claimed until UninstallGroup
+// (which becomes legal, the state no longer being active); recovery
+// installs a fresh group rather than restarting a frozen one.
+func (n *NIC) AbortGroup(id core.GroupID) {
+	switch {
+	case n.coll.has(id):
+		op := n.coll.ops[id]
+		op.nackTimer.Cancel()
+		op.nackTimer = sim.Timer{}
+		op.state.Abort()
+		op.frozen = true
+	case n.direct.has(id):
+		op := n.direct.ops[id]
+		op.state.Abort()
+		op.frozen = true
+	default:
+		panic(fmt.Sprintf("myrinet: node %d: aborting unknown group %d", n.node.ID, id))
+	}
+	n.Stats.AbortedOps++
+	n.traceEvent(int(id), obs.KindOpTimeout, 0)
+}
+
 // ChargeGroupInstall charges the firmware-side cost of writing a fresh
 // group-queue entry on the simulated timeline. Installation itself is
 // synchronous (the slot is claimed immediately); the charge models the
@@ -190,8 +233,16 @@ func (c *collModule) start(id core.GroupID, value int64) {
 	n := c.nic
 	n.traceTime(int(id), n.node.Prof.NIC.CollEnqueue, 0)
 	n.exec(n.node.Prof.NIC.CollEnqueue, 0, func() {
+		if op.frozen {
+			// The group was aborted while this doorbell sat in the
+			// handler queue; the host-side run is void.
+			n.Stats.StaleColl++
+			n.traceEvent(int(id), obs.KindStale, int64(op.nextSeq))
+			return
+		}
 		seq := op.nextSeq
 		op.nextSeq++
+		op.nackRound = 0
 		// Peers lag at most one operation behind, so NACK bookkeeping for
 		// operations before seq-1 can never be consulted again.
 		for k := range op.nackServed {
@@ -259,6 +310,11 @@ func (c *collModule) onMsg(m collPayload) {
 			return
 		}
 		op := c.mustOp(m.group)
+		if op.frozen {
+			n.Stats.StaleColl++
+			n.traceEvent(int(m.group), obs.KindStale, int64(m.seq))
+			return
+		}
 		n.Stats.CollRecvd++
 		staleBefore := op.state.Stale + op.state.Duplicates
 		var sends []int
@@ -275,6 +331,8 @@ func (c *collModule) onMsg(m collPayload) {
 		if op.state.Stale+op.state.Duplicates > staleBefore {
 			n.Stats.StaleColl++
 			n.traceEvent(int(m.group), obs.KindStale, int64(m.seq))
+		} else {
+			op.nackRound = 0 // progress: the NACK rounds were not fruitless
 		}
 		c.sendAll(op, op.state.Seq(), sends)
 		if done {
@@ -312,6 +370,13 @@ func (c *collModule) armNack(op *collOp, seq int) {
 		if !op.state.Active() || op.state.Seq() != seq {
 			return
 		}
+		op.nackRound++
+		if n.OnNackStall != nil && op.nackRound >= nackStallRounds {
+			n.OnNackStall(op.group.ID, op.nackRound)
+			if op.frozen {
+				return // the stall hook aborted the group
+			}
+		}
 		for _, r := range op.state.Missing() {
 			dst := op.group.NodeOf(r)
 			payload := nackMsg{group: op.group.ID, seq: seq, wantRank: op.group.MyRank}
@@ -347,6 +412,11 @@ func (c *collModule) onNack(m nackMsg, fromNode int) {
 			return
 		}
 		op := c.mustOp(m.group)
+		if op.frozen {
+			n.Stats.StaleColl++
+			n.traceEvent(int(m.group), obs.KindStale, int64(m.seq))
+			return
+		}
 		n.Stats.NacksRecvd++
 		if !op.state.HasSent(m.seq, m.wantRank) {
 			return // not sent yet; the normal path will deliver it

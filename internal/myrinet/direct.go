@@ -22,6 +22,9 @@ type directOp struct {
 	group   *core.Group
 	state   *core.OpState
 	nextSeq int
+	// frozen marks a group aborted mid-operation; late doorbells and
+	// arrivals count stale instead of touching state (see AbortGroup).
+	frozen bool
 }
 
 func newDirectModule(n *NIC) *directModule {
@@ -55,6 +58,10 @@ func (d *directModule) start(id core.GroupID) {
 	n := d.nic
 	// The doorbell is translated like a regular send event.
 	n.exec(n.node.Prof.NIC.TokenTranslate, 0, func() {
+		if op.frozen {
+			n.Stats.StaleColl++
+			return
+		}
 		seq := op.nextSeq
 		op.nextSeq++
 		sends, done, err := op.state.Start(seq)
@@ -97,6 +104,10 @@ func (d *directModule) onArrive(m collPayload) {
 			return
 		}
 		op := d.mustOp(m.group)
+		if op.frozen {
+			n.Stats.StaleColl++
+			return
+		}
 		sends, done, err := op.state.Arrive(m.seq, m.fromRank)
 		if err != nil {
 			panic(fmt.Sprintf("myrinet: node %d: %v", n.node.ID, err))

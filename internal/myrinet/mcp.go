@@ -90,6 +90,10 @@ type NICStats struct {
 	NacksRecvd  uint64
 	StaleColl   uint64
 	BarriersRun uint64
+
+	HeartbeatsSent  uint64
+	HeartbeatsRecvd uint64
+	AbortedOps      uint64
 }
 
 // NIC is the LANai model: one sequential firmware processor plus the MCP
@@ -128,6 +132,18 @@ type NIC struct {
 	// (doorbells, NACKs, resends, stale duplicates, installs) and
 	// per-group NIC-time attribution. Disabled cost: one nil check.
 	tr *obs.Scope
+
+	// OnHeartbeat, when set, receives failure-detector keepalives
+	// addressed to this node. The communicator layer installs it when a
+	// group enables recovery; nil (the default) drops heartbeats, and no
+	// heartbeat traffic exists unless a detector is sending it.
+	OnHeartbeat func(group core.GroupID, fromRank int)
+	// OnNackStall, when set, is notified when a collective operation's
+	// receiver-driven NACK recovery stops making progress (several
+	// consecutive fruitless NACK rounds) — the escalating-retransmission
+	// signal the failure detector uses to check suspicions early instead
+	// of waiting out the full op deadline.
+	OnNackStall func(group core.GroupID, round int)
 
 	Stats NICStats
 }
@@ -331,6 +347,14 @@ func (n *NIC) onPacket(pkt netsim.Packet) {
 		n.coll.onMsg(m)
 	case nackMsg:
 		n.coll.onNack(m, pkt.Src)
+	case core.Heartbeat:
+		// Keepalive filtering is a header compare in the firmware's
+		// receive fast path; its cost is negligible next to a handler
+		// dispatch, so none is charged.
+		n.Stats.HeartbeatsRecvd++
+		if n.OnHeartbeat != nil {
+			n.OnHeartbeat(m.Group, m.Rank)
+		}
 	default:
 		panic(fmt.Sprintf("myrinet: node %d: unknown payload %T", n.node.ID, pkt.Payload))
 	}
@@ -406,6 +430,24 @@ func (n *NIC) onAck(m ackMsg) {
 		n.postEvent(Event{Kind: EvSendDone})
 		n.kick()
 	})
+}
+
+// SendHeartbeat injects one failure-detector keepalive addressed to
+// dstNode. The packet rides netsim like protocol traffic — crashes and
+// partitions silence it exactly as they silence barrier messages — but
+// charges no firmware time: keepalives are generated from a static
+// packet outside the handler queue, and they exist only when a group
+// runs with recovery enabled.
+func (n *NIC) SendHeartbeat(group core.GroupID, fromRank, dstNode int) {
+	n.net.Send(netsim.Packet{
+		Src:     n.node.ID,
+		Dst:     dstNode,
+		Size:    8,
+		Kind:    "heartbeat",
+		Group:   int(group),
+		Payload: core.Heartbeat{Group: group, Rank: fromRank},
+	})
+	n.Stats.HeartbeatsSent++
 }
 
 // postEvent DMAs an event record into host memory for the host to poll.

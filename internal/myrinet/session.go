@@ -71,6 +71,13 @@ type Session struct {
 	// closed marks a torn-down session; launching it again is a
 	// programming error (install a new session instead).
 	closed bool
+	// aborted marks a session whose current run was cancelled mid-flight
+	// (deadline expiry). The NIC-side ops are frozen and the run
+	// bookkeeping discarded; the only legal next step is Close — recovery
+	// installs a fresh session rather than restarting this one, since
+	// surviving members' sequence windows may disagree about the aborted
+	// operation.
+	aborted bool
 	// gen counts run generations (bumped by Launch and Reset). complete
 	// snapshots it around the OnIterDone callback: a callback that
 	// Resets and relaunches the session — the churn engine's
@@ -107,6 +114,9 @@ type member struct {
 	// the member fires as a sim.Event (at most one outstanding per
 	// member: iterations chain).
 	deferSeq int
+	// deferTimer holds the pending NextAt deferral so Abort can cancel
+	// it (a fired or zero timer cancels as a no-op).
+	deferTimer sim.Timer
 }
 
 // Fire implements sim.Event: post the deferred iteration. Scheduling the
@@ -312,6 +322,9 @@ func (s *Session) Launch(iters int) {
 	if s.closed {
 		panic("myrinet: Launch on a closed session")
 	}
+	if s.aborted {
+		panic("myrinet: Launch on an aborted session (install a new one)")
+	}
 	if s.iters != 0 {
 		panic("myrinet: session launched twice (Reset between runs)")
 	}
@@ -342,6 +355,9 @@ func (s *Session) Launch(iters int) {
 // group queue is a long-lived resource), only the run bookkeeping is
 // cleared.
 func (s *Session) Reset() {
+	if s.aborted {
+		panic("myrinet: Reset on an aborted session (install a new one)")
+	}
 	if s.iters > 0 && !s.Done() {
 		panic("myrinet: Reset mid-run")
 	}
@@ -377,6 +393,36 @@ func (s *Session) Close() {
 // Closed reports whether the session has been torn down.
 func (s *Session) Closed() bool { return s.closed }
 
+// Abort cancels the current run mid-flight: pending NextAt deferrals
+// are cancelled, host-side schedule state is quiesced, and each member
+// NIC's group op is frozen (late doorbells, arrivals, and NACKs count
+// stale instead of touching state), leaving NIC slot accounting
+// consistent for the Close that must follow. Idle, finished, and
+// closed sessions abort as a no-op. Abort does not free the NIC slots
+// — Close does, exactly as in the orderly path.
+func (s *Session) Abort() {
+	if s.closed || s.iters == 0 || s.Done() {
+		return
+	}
+	s.aborted = true
+	s.gen++ // void any in-flight OnIterDone-chained posts
+	for _, m := range s.members {
+		m.deferTimer.Cancel()
+		m.deferTimer = sim.Timer{}
+		if m.hostOp != nil {
+			m.hostOp.Abort()
+		}
+		if s.scheme != SchemeHost {
+			m.node.NIC.AbortGroup(s.gid)
+		}
+	}
+	s.iters = 0
+	s.doneAt, s.startAt, s.pending, s.results = nil, nil, nil, nil
+}
+
+// Aborted reports whether the session was cancelled mid-run.
+func (s *Session) Aborted() bool { return s.aborted }
+
 // ChargeInstall charges every member NIC's group-install cost on the
 // simulated timeline. The constructors install for free (setup phase,
 // like MPI_Init); lifecycle-aware callers — the communicator layer's
@@ -398,7 +444,7 @@ func (s *Session) post(m *member, seq int) {
 	if s.NextAt != nil {
 		if at := s.NextAt(m.rank, seq-s.base); at > s.cl.Eng.Now() {
 			m.deferSeq = seq
-			s.cl.Eng.ScheduleEvent(at, m)
+			m.deferTimer = s.cl.Eng.ScheduleEvent(at, m)
 			return
 		}
 	}
@@ -450,6 +496,9 @@ func (s *Session) MeanLatency(warmup, iters int) sim.Duration {
 
 // complete records one member's completion of absolute operation seq.
 func (s *Session) complete(rank, seq int) {
+	if s.aborted {
+		return // late completion racing the abort; the run is void
+	}
 	rel := seq - s.base
 	if rel >= s.iters {
 		panic(fmt.Sprintf("myrinet: completion for iteration %d beyond %d", rel, s.iters))

@@ -122,6 +122,12 @@ type Outcome struct {
 	// observer (the blocked-port "reject" semantics: the network refuses
 	// the worm and the source side can observe the refusal).
 	Reject bool
+	// FailStop marks a discard caused by a whole-node (fail-stop)
+	// failure rather than a link-level impairment. Hardware-reliable
+	// adapters (DelayOnly) strip link-loss discards but must let
+	// fail-stop discards through: a reliable network retransmits around
+	// lost packets, it cannot resurrect a dead node.
+	FailStop bool
 	// Delay is extra head latency added at this point.
 	Delay sim.Duration
 }
@@ -139,9 +145,12 @@ type Impairment interface {
 }
 
 // DelayOnly adapts an impairment for hardware-reliable networks: delays
-// pass through, drops and rejects are stripped. This is how the Quadrics
-// substrate honors its hardware reliability under fault plans that mix
-// loss with latency effects.
+// pass through, link-level drops and rejects are stripped, but
+// fail-stop discards (Outcome.FailStop — whole-node crashes) survive
+// with drop semantics. This is how the Quadrics substrate honors its
+// hardware reliability under fault plans that mix loss with latency
+// effects while still letting node-crash plans take hold: QsNet
+// guarantees delivery over live links, not participation by dead hosts.
 type DelayOnly struct {
 	Inner Impairment
 }
@@ -157,6 +166,13 @@ func (d DelayOnly) Hop(pkt Packet, link, hop, hops int, headAt sim.Time) Outcome
 }
 
 func reliable(o Outcome) Outcome {
+	if o.FailStop {
+		// A dead node is dead on any network: keep the discard, but
+		// normalize to silent drop semantics (nothing is left on the
+		// node to observe a refusal).
+		o.Drop, o.Reject = true, false
+		return o
+	}
 	o.Drop, o.Reject = false, false
 	return o
 }
@@ -176,8 +192,11 @@ type Counters struct {
 	// per-hop impairment (the packet occupied every link before the
 	// faulty one).
 	HopDropped uint64
-	Bytes      uint64
-	ByKind     map[string]uint64
+	// FailStopped counts the Dropped subset discarded because an
+	// endpoint suffered a whole-node (fail-stop) failure.
+	FailStopped uint64
+	Bytes       uint64
+	ByKind      map[string]uint64
 }
 
 // Network binds a topology to physical parameters and attached receivers.
@@ -400,9 +419,14 @@ func (n *Network) recordDrop(pkt Packet, out Outcome, midRoute bool, at sim.Time
 	if midRoute {
 		n.counters.HopDropped++
 	}
+	if out.FailStop {
+		n.counters.FailStopped++
+	}
 	if n.tr != nil {
 		reason := obs.DropInjected
 		switch {
+		case out.FailStop:
+			reason = obs.DropFailStop
 		case out.Reject:
 			reason = obs.DropRejected
 		case midRoute:

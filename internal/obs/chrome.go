@@ -67,7 +67,7 @@ func category(k Kind) string {
 		return "wire"
 	case KindEventFired, KindEventCancelled:
 		return "engine"
-	case KindOpQueue, KindOpRun:
+	case KindOpQueue, KindOpRun, KindOpTimeout, KindEvict, KindRetry:
 		return "op"
 	default:
 		return "nic"

@@ -52,6 +52,11 @@ const (
 	// Communicator layer: an op's queue-wait and in-flight phases.
 	KindOpQueue
 	KindOpRun
+	// Recovery layer: a deadline expiry, a member eviction and a
+	// retried run (comm.RecoveryConfig).
+	KindOpTimeout
+	KindEvict
+	KindRetry
 )
 
 // String implements fmt.Stringer.
@@ -87,6 +92,12 @@ func (k Kind) String() string {
 		return "op-queue"
 	case KindOpRun:
 		return "op-run"
+	case KindOpTimeout:
+		return "op-timeout"
+	case KindEvict:
+		return "evict"
+	case KindRetry:
+		return "retry"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -102,6 +113,7 @@ const (
 	DropInjected DropReason = iota // discarded at injection (loss model or inject-time fault)
 	DropMidRoute                   // discarded mid-route by a per-hop impairment
 	DropRejected                   // discarded with reject semantics
+	DropFailStop                   // discarded because an endpoint fail-stop crashed
 )
 
 // String implements fmt.Stringer.
@@ -113,6 +125,8 @@ func (r DropReason) String() string {
 		return "mid-route"
 	case DropRejected:
 		return "rejected"
+	case DropFailStop:
+		return "fail-stop"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
@@ -364,6 +378,14 @@ func (s *Scope) OpSpan(gid int, opKind string, eligible, start, done sim.Time) {
 	}
 	tr.emit(Record{At: start, Dur: done.Sub(start), Kind: KindOpRun,
 		Group: int32(gid), Label: opKind})
+}
+
+// Lifecycle records a recovery-layer event for group gid on its tenant
+// track: a deadline expiry (KindOpTimeout, arg = stalled op sequence),
+// a member eviction (KindEvict, arg = evicted node ID) or a retried run
+// (KindRetry, arg = retry attempt number).
+func (s *Scope) Lifecycle(at sim.Time, gid int, k Kind, arg int64) {
+	s.TenantTrack(gid).emit(Record{At: at, Kind: k, Group: int32(gid), Arg: arg})
 }
 
 // GroupPhases reports the wire and NIC time attributed to group gid so

@@ -123,7 +123,7 @@ func TestMeasureBroadcast(t *testing.T) {
 }
 
 func TestRunExperimentFacade(t *testing.T) {
-	if len(Experiments()) != 19 {
+	if len(Experiments()) != 21 {
 		t.Fatalf("experiments: %v", Experiments())
 	}
 	out, err := RunExperiment("packets", Quick)
