@@ -1,0 +1,247 @@
+// Command simserve hosts the live observability plane: it launches
+// named simulation scenarios (multi-tenant workloads, tenant churn,
+// fault-injected runs) with a metronome-armed trace and serves their
+// metrics over HTTP while they run.
+//
+// Endpoints:
+//
+//	/metrics   Prometheus text exposition (scrape it)
+//	/snapshot  schema-versioned JSON snapshot (?run=<id|name>)
+//	/stream    server-sent events, one snapshot per publication epoch
+//	/runs      run registry with live progress
+//	/healthz   liveness
+//
+// Examples:
+//
+//	simserve -list
+//	simserve -addr :8077 -scenario churn-live
+//	simserve -scenario all -loop            # soak: rerun forever, bumping seeds
+//	curl -s localhost:8077/metrics | grep nicbarrier_ops_total
+//	curl -s localhost:8077/snapshot | go run ./cmd/tracecheck -snapshot /dev/stdin
+//
+// Scenarios run sequentially on one goroutine; the server keeps serving
+// their final published state after they finish. With -once the process
+// exits when the launched scenarios complete (CI smoke mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"nicbarrier"
+	"nicbarrier/internal/metricsrv"
+)
+
+// scenario is one named simulation the service can host. run drives the
+// workload to completion over the public facade and returns the /runs
+// summary line.
+type scenario struct {
+	name string
+	desc string
+	kind string // "workload", "churn", "chaos"
+	run  func(tr *nicbarrier.Trace, seed uint64) (string, error)
+}
+
+func scenarios() []scenario {
+	xp := func(nodes int, tr *nicbarrier.Trace, seed uint64) nicbarrier.Config {
+		return nicbarrier.Config{
+			Interconnect: nicbarrier.MyrinetLANaiXP,
+			Nodes:        nodes,
+			Scheme:       nicbarrier.NICCollective,
+			Seed:         seed,
+			Trace:        tr,
+		}
+	}
+	wlSummary := func(res nicbarrier.WorkloadResult) string {
+		return fmt.Sprintf("%d ops, %.0f ops/s aggregate, fairness %.3f",
+			res.TotalOps, res.AggregateOpsPerSec, res.Fairness)
+	}
+	return []scenario{
+		{
+			name: "saturate-64",
+			desc: "16 tenants carve a 64-node cluster, back-to-back barriers",
+			kind: "workload",
+			run: func(tr *nicbarrier.Trace, seed uint64) (string, error) {
+				res, err := nicbarrier.MeasureWorkload(xp(64, tr, seed),
+					nicbarrier.WorkloadSpec{Tenants: 16, OpsPerTenant: 40})
+				if err != nil {
+					return "", err
+				}
+				return wlSummary(res), nil
+			},
+		},
+		{
+			name: "mixed-collectives",
+			desc: "2:1:1 barrier:broadcast:allreduce mix with think time",
+			kind: "workload",
+			run: func(tr *nicbarrier.Trace, seed uint64) (string, error) {
+				res, err := nicbarrier.MeasureWorkload(xp(32, tr, seed),
+					nicbarrier.WorkloadSpec{
+						Tenants: 8, OpsPerTenant: 40,
+						BarrierWeight: 2, BroadcastWeight: 1, AllreduceWeight: 1,
+						Arrival: nicbarrier.ClosedLoop, MeanGapMicros: 10,
+					})
+				if err != nil {
+					return "", err
+				}
+				return wlSummary(res), nil
+			},
+		},
+		{
+			name: "churn-live",
+			desc: "tenants arrive, install through admission, reconfigure, depart",
+			kind: "churn",
+			run: func(tr *nicbarrier.Trace, seed uint64) (string, error) {
+				res, err := nicbarrier.MeasureChurn(xp(16, tr, seed),
+					nicbarrier.ChurnSpec{
+						Tenants: 32, OpsPerTenant: 12,
+						MeanArrivalGapMicros: 30, MeanThinkMicros: 5,
+						ReconfigureEvery: 3,
+						Policy:           nicbarrier.AdmitQueue,
+					})
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("%d/%d tenants completed, %d ops, %d queued installs",
+					res.Completed, res.Tenants, res.TotalOps, res.QueuedInstalls), nil
+			},
+		},
+		{
+			name: "lossy-chaos",
+			desc: "workload under burst loss, a healing partition and a slow NIC",
+			kind: "chaos",
+			run: func(tr *nicbarrier.Trace, seed uint64) (string, error) {
+				cfg := xp(32, tr, seed)
+				cfg.Faults = []nicbarrier.Fault{
+					nicbarrier.FaultBurstLoss(0.03, 3),
+					nicbarrier.FaultPartition(3, 7).Between(100, 400),
+					nicbarrier.FaultSlowNIC(5, 0.5),
+				}
+				res, err := nicbarrier.MeasureWorkload(cfg,
+					nicbarrier.WorkloadSpec{Tenants: 8, OpsPerTenant: 30})
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("%d ops under faults, %d packets dropped",
+					res.TotalOps, res.DroppedPackets), nil
+			},
+		},
+	}
+}
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8077", "HTTP listen address (host:port; port 0 picks a free one)")
+	listOnly := fs.Bool("list", false, "list scenarios and exit")
+	names := fs.String("scenario", "all",
+		"comma-separated scenarios to launch (see -list), or \"all\"")
+	metronome := fs.Float64("metronome", 50,
+		"live-snapshot publication period in simulated microseconds (0 disables mid-run snapshots)")
+	seed := fs.Uint64("seed", 1, "base cluster seed; -loop bumps it each round")
+	loop := fs.Bool("loop", false, "rerun the scenarios forever, bumping the seed each round")
+	once := fs.Bool("once", false, "exit when the launched scenarios complete (CI smoke mode)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	scens := scenarios()
+	if *listOnly {
+		for _, s := range scens {
+			fmt.Fprintf(stdout, "  %-18s [%s] %s\n", s.name, s.kind, s.desc)
+		}
+		return 0
+	}
+	var picked []scenario
+	if *names == "all" {
+		picked = scens
+	} else {
+		for _, want := range strings.Split(*names, ",") {
+			want = strings.TrimSpace(want)
+			found := false
+			for _, s := range scens {
+				if s.name == want {
+					picked = append(picked, s)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(stderr, "simserve: unknown scenario %q (try -list)\n", want)
+				return 1
+			}
+		}
+	}
+	if len(picked) == 0 {
+		fmt.Fprintln(stderr, "simserve: no scenarios selected")
+		return 1
+	}
+	if *loop && *once {
+		fmt.Fprintln(stderr, "simserve: -loop and -once are mutually exclusive")
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "simserve: %v\n", err)
+		return 1
+	}
+	srv := metricsrv.New()
+	fmt.Fprintf(stdout, "simserve: listening on http://%s\n", ln.Addr())
+
+	// Scenarios run sequentially on one goroutine: each gets its own
+	// Trace (so /snapshot?run= views are disjoint) with the metronome
+	// armed before any cluster exists.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; ; round++ {
+			for _, s := range picked {
+				tr := nicbarrier.NewTrace()
+				tr.SetMetronome(*metronome)
+				name := s.name
+				if round > 0 {
+					name = fmt.Sprintf("%s#%d", s.name, round)
+				}
+				run := srv.Register(name, s.kind, tr.Tracer())
+				fmt.Fprintf(stdout, "simserve: run %d %q starting\n", run.ID, name)
+				summary, err := s.run(tr, *seed+uint64(round))
+				run.Finish(summary, err)
+				if err != nil {
+					fmt.Fprintf(stderr, "simserve: run %d %q failed: %v\n", run.ID, name, err)
+				} else {
+					fmt.Fprintf(stdout, "simserve: run %d %q done: %s\n", run.ID, name, summary)
+				}
+			}
+			if !*loop {
+				return
+			}
+		}
+	}()
+
+	if *once {
+		// Serve while the scenarios run, exit when they finish.
+		go http.Serve(ln, srv.Handler())
+		<-done
+		ln.Close()
+		fmt.Fprintln(stdout, "simserve: scenarios complete")
+		return 0
+	}
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintf(stderr, "simserve: %v\n", err)
+		return 1
+	}
+	return 0
+}

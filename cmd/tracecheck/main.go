@@ -1,19 +1,27 @@
-// Command tracecheck validates Chrome trace-event JSON files produced
-// by the -trace flags of barrier-bench, tenantbench and groupchurn:
-// each file must be a JSON object with a traceEvents array whose
-// events carry the fields chrome://tracing requires (phase, pid, and
-// per-phase timing fields). CI runs it over every exported trace so a
-// schema regression fails the build instead of surfacing as a blank
-// chrome://tracing window.
+// Command tracecheck validates the observability layer's export
+// formats. Its default mode checks Chrome trace-event JSON files
+// produced by the -trace flags of barrier-bench, tenantbench and
+// groupchurn: each file must be a JSON object with a traceEvents array
+// whose events carry the fields chrome://tracing requires (phase, pid,
+// and per-phase timing fields). With -snapshot it instead validates
+// schema-versioned metric snapshots as served by the metrics service's
+// /snapshot endpoint (cmd/simserve): schema version, epoch accounting,
+// drop-reason totals, histogram-bin consistency and quantile ordering.
+// CI runs it over every exported artifact so a schema regression fails
+// the build instead of surfacing as a blank trace window or a silently
+// wrong dashboard.
 //
 // Usage:
 //
 //	tracecheck out.json [more.json ...]
+//	tracecheck -snapshot snap.json [more.json ...]
+//	curl -s localhost:8077/snapshot | tracecheck -snapshot /dev/stdin
 //
 // Exit status 0 when every file validates, 1 otherwise.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -26,16 +34,38 @@ func main() {
 }
 
 func realMain(args []string, stdout, stderr io.Writer) int {
-	if len(args) == 0 {
-		fmt.Fprintln(stderr, "usage: tracecheck <trace.json> [more.json ...]")
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	snapshot := fs.Bool("snapshot", false,
+		"validate metric snapshot JSON (the /snapshot schema) instead of Chrome traces")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(stderr, "usage: tracecheck [-snapshot] <file.json> [more.json ...]")
 		return 2
 	}
 	bad := 0
-	for _, path := range args {
+	for _, path := range files {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "tracecheck: %v\n", err)
 			bad++
+			continue
+		}
+		if *snapshot {
+			n, err := obs.ValidateSnapshotJSON(data)
+			if err != nil {
+				fmt.Fprintf(stderr, "tracecheck: %s: %v\n", path, err)
+				bad++
+				continue
+			}
+			fmt.Fprintf(stdout, "%s: ok, schema v%d, %d scopes\n",
+				path, obs.SnapshotSchemaVersion, n)
 			continue
 		}
 		n, err := obs.ValidateChromeTrace(data)

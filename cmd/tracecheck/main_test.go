@@ -59,6 +59,46 @@ func TestMissingFileAndUsage(t *testing.T) {
 	}
 }
 
+// The committed golden snapshot — generated from a real metronome-armed
+// workload run — must keep validating; a schema change that breaks it
+// needs a SnapshotSchemaVersion bump and a regenerated golden file.
+func TestGoldenSnapshotValidates(t *testing.T) {
+	code, out, errb := tc(t, "-snapshot", filepath.Join("testdata", "snapshot.json"))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "ok, schema v1, 1 scopes") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestInvalidSnapshots(t *testing.T) {
+	cases := map[string]string{
+		"not-json.json":     `nope`,
+		"wrong-ver.json":    `{"schemaVersion":99,"epoch":0,"atUS":0,"scopes":[]}`,
+		"bad-epoch.json":    `{"schemaVersion":1,"epoch":7,"atUS":0,"scopes":[{"name":"s","epoch":1,"atUS":0,"eventsFired":0,"eventsCancelled":0,"records":0,"groups":[]}]}`,
+		"noname-scope.json": `{"schemaVersion":1,"epoch":0,"atUS":0,"scopes":[{"name":"","epoch":0,"atUS":0,"eventsFired":0,"eventsCancelled":0,"records":0,"groups":[]}]}`,
+	}
+	for name, content := range cases {
+		if code, _, errb := tc(t, "-snapshot", write(t, name, content)); code != 1 {
+			t.Errorf("%s: exit %d (stderr %q), want 1", name, code, errb)
+		}
+	}
+}
+
+// A Chrome trace is not a snapshot and vice versa: the modes must not
+// accept each other's format.
+func TestModesRejectCrossFormat(t *testing.T) {
+	trace := write(t, "trace.json",
+		`{"traceEvents":[{"name":"pkt-inject","ph":"i","pid":1,"tid":2,"ts":1.5,"s":"t"}]}`)
+	if code, _, _ := tc(t, "-snapshot", trace); code != 1 {
+		t.Fatalf("-snapshot accepted a Chrome trace (exit %d)", code)
+	}
+	if code, _, _ := tc(t, filepath.Join("testdata", "snapshot.json")); code != 1 {
+		t.Fatalf("trace mode accepted a snapshot (exit %d)", code)
+	}
+}
+
 func TestMixedFilesStillChecksAll(t *testing.T) {
 	good := write(t, "good.json", `{"traceEvents":[]}`)
 	bad := write(t, "bad.json", `broken`)

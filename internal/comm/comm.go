@@ -119,6 +119,22 @@ func (c *Cluster) SetTracer(sc *obs.Scope) {
 	}
 }
 
+// SetMetronome arms periodic live snapshot publication on the attached
+// observability scope: every `every` of virtual time (checked as engine
+// events fire), the scope publishes an epoch-stamped snapshot that
+// other goroutines may read mid-run (obs.Scope.Live). The metronome is
+// observational only — it schedules nothing and charges no simulated
+// time, so virtual-time results stay bit-identical. It requires a
+// tracer (SetTracer) and installs the scope as the engine's observer;
+// without a tracer it is a no-op. 0 disarms.
+func (c *Cluster) SetMetronome(every sim.Duration) {
+	if c.tr == nil {
+		return
+	}
+	c.tr.SetMetronome(every)
+	c.Eng.SetObserver(c.tr)
+}
+
 // OverMyrinet builds a communicator layer over a Myrinet cluster.
 func OverMyrinet(cl *myrinet.Cluster) *Cluster {
 	c := &Cluster{Eng: cl.Eng, My: cl, nextGID: myrinet.SessionGroupID}
@@ -329,6 +345,9 @@ func (g *Group) attach() {
 // and finalizes a deferred Close once the run has drained.
 func (g *Group) onIterDone(iter int, at sim.Time) {
 	g.opsDone++
+	if g.c.tr != nil {
+		g.c.tr.OpDone(int(g.ID))
+	}
 	if g.rec != nil {
 		g.rec.onProgress(iter, at)
 	}

@@ -1,0 +1,184 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+
+	"nicbarrier/internal/obs"
+	"nicbarrier/internal/sim"
+)
+
+// The metronome is observational only: arming it must not move a single
+// virtual-time result, and the final published snapshot must carry the
+// run's full metric state (live op progress, span-fed latency, tenant
+// bindings).
+func TestMetronomeNeutralAndPublishes(t *testing.T) {
+	spec := WorkloadSpec{Tenants: 4, OpsPerTenant: 10, Seed: 3}
+	plainTr := obs.NewTracer()
+	plain, err := RunWorkload(tracedXpComm(16, plainTr.NewScope("plain")), spec)
+	if err != nil {
+		t.Fatalf("plain RunWorkload: %v", err)
+	}
+
+	tr := obs.NewTracer()
+	tr.SetMetronome(50 * sim.Microsecond)
+	sc := tr.NewScope("metro")
+	live, err := RunWorkload(tracedXpComm(16, sc), spec)
+	if err != nil {
+		t.Fatalf("metronome RunWorkload: %v", err)
+	}
+	if live.MakespanUS != plain.MakespanUS || live.AggOpsPerSec != plain.AggOpsPerSec {
+		t.Fatalf("metronome changed virtual time: makespan %.3fus vs %.3fus",
+			live.MakespanUS, plain.MakespanUS)
+	}
+
+	ls := sc.Live()
+	if ls == nil {
+		t.Fatal("armed scope never published")
+	}
+	if ls.Epoch < 2 {
+		t.Fatalf("final epoch %d; expected metronome ticks plus the final publish", ls.Epoch)
+	}
+	if ls.AtUS <= 0 {
+		t.Fatalf("final publication not time-stamped: %+v", ls)
+	}
+	want := uint64(spec.Tenants * spec.OpsPerTenant)
+	var done, ops uint64
+	for _, g := range ls.Groups {
+		done += g.Done
+		ops += g.Ops
+	}
+	if done != want || ops != want {
+		t.Fatalf("final snapshot: done=%d ops=%d, want %d of each", done, ops, want)
+	}
+	rows := tr.LiveSnapshot().MergeTenants()
+	if len(rows) != spec.Tenants {
+		t.Fatalf("tenant-merged rows = %d, want %d: %+v", len(rows), spec.Tenants, rows)
+	}
+	for i, r := range rows {
+		if r.Tenant != i || r.Latency.Count != uint64(spec.OpsPerTenant) {
+			t.Fatalf("tenant row %d: %+v", i, r)
+		}
+	}
+}
+
+// A sharded run exposes the same per-tenant snapshot view as an
+// unsharded one: every workload-wide tenant appears exactly once in the
+// tenant-merged view with its full operation count and pooled latency
+// histogram, whatever the partition count.
+func TestShardedSnapshotTenantView(t *testing.T) {
+	spec := WorkloadSpec{Tenants: 6, OpsPerTenant: 8, Overlap: true,
+		GroupSizeMin: 2, GroupSizeMax: 4, Seed: 7}
+	tr := obs.NewTracer()
+	tr.SetMetronome(100 * sim.Microsecond)
+	cs := make([]*Cluster, 3)
+	for s := range cs {
+		cs[s] = tracedXpComm(16, tr.NewScope(fmt.Sprintf("shard%d", s)))
+	}
+	if _, err := RunWorkloadSharded(cs, spec); err != nil {
+		t.Fatalf("RunWorkloadSharded: %v", err)
+	}
+
+	snap := tr.LiveSnapshot()
+	if len(snap.Scopes) != 3 {
+		t.Fatalf("published scopes = %d, want one per shard", len(snap.Scopes))
+	}
+	rows := snap.MergeTenants()
+	if len(rows) != spec.Tenants {
+		t.Fatalf("tenant-merged rows = %d, want %d", len(rows), spec.Tenants)
+	}
+	for i, r := range rows {
+		if r.Tenant != i {
+			t.Fatalf("row %d is tenant %d", i, r.Tenant)
+		}
+		if r.Done != uint64(spec.OpsPerTenant) || r.Ops != uint64(spec.OpsPerTenant) {
+			t.Fatalf("tenant %d: done=%d ops=%d, want %d", i, r.Done, r.Ops, spec.OpsPerTenant)
+		}
+		if r.Latency.Count != uint64(spec.OpsPerTenant) {
+			t.Fatalf("tenant %d pooled latency count = %d", i, r.Latency.Count)
+		}
+	}
+	// The quiescent Snapshot agrees with the published view on the
+	// merged tenants (epochs aside, which only the live path stamps).
+	quiet := tr.Snapshot().MergeTenants()
+	if len(quiet) != len(rows) {
+		t.Fatalf("quiescent merge rows = %d, live = %d", len(quiet), len(rows))
+	}
+	for i := range rows {
+		if quiet[i].Done != rows[i].Done || quiet[i].Latency.Count != rows[i].Latency.Count {
+			t.Fatalf("tenant %d: quiescent %+v vs live %+v", i, quiet[i], rows[i])
+		}
+	}
+}
+
+// Scraping LiveSnapshot from another goroutine while the workload runs
+// must be race-free and monotone: epochs never regress, and no live
+// counter moves backwards between publications. Run under -race in CI.
+func TestConcurrentLiveScrape(t *testing.T) {
+	spec := WorkloadSpec{Tenants: 6, OpsPerTenant: 40, Seed: 11}
+	tr := obs.NewTracer()
+	tr.SetMetronome(20 * sim.Microsecond)
+	sc := tr.NewScope("scraped")
+	c := tracedXpComm(24, sc)
+
+	stop := make(chan struct{})
+	scraped := make(chan int)
+	go func() {
+		var lastEpoch, lastDone, lastFired uint64
+		n := 0
+		stopping := false
+		for {
+			select {
+			case <-stop:
+				// One final observation so the scraper always runs at
+				// least once even if the workload beat it to the finish.
+				stopping = true
+			default:
+			}
+			snap := tr.LiveSnapshot()
+			if len(snap.Scopes) == 0 {
+				if stopping {
+					scraped <- n
+					return
+				}
+				continue
+			}
+			s := snap.Scopes[0]
+			if s.Epoch < lastEpoch {
+				t.Errorf("epoch regressed: %d after %d", s.Epoch, lastEpoch)
+			}
+			if s.EventsFired < lastFired {
+				t.Errorf("eventsFired regressed: %d after %d", s.EventsFired, lastFired)
+			}
+			var done uint64
+			for _, g := range s.Groups {
+				done += g.Done
+			}
+			if done < lastDone {
+				t.Errorf("done ops regressed: %d after %d", done, lastDone)
+			}
+			lastEpoch, lastFired, lastDone = s.Epoch, s.EventsFired, done
+			n++
+			if stopping {
+				scraped <- n
+				return
+			}
+		}
+	}()
+
+	if _, err := RunWorkload(c, spec); err != nil {
+		t.Fatalf("RunWorkload: %v", err)
+	}
+	close(stop)
+	if n := <-scraped; n == 0 {
+		t.Fatal("scraper never ran")
+	}
+	ls := sc.Live()
+	var done uint64
+	for _, g := range ls.Groups {
+		done += g.Done
+	}
+	if want := uint64(spec.Tenants * spec.OpsPerTenant); done != want {
+		t.Fatalf("final done = %d, want %d", done, want)
+	}
+}

@@ -344,6 +344,9 @@ func installTenant(c *Cluster, spec WorkloadSpec, p tenantPlan) (*Group, []sim.T
 	if err != nil {
 		return nil, nil, fmt.Errorf("comm: tenant %d: %w", p.idx, err)
 	}
+	if c.tr != nil {
+		c.tr.BindGroupTenant(int(g.ID), p.idx)
+	}
 	g.pace.eng = c.Eng
 	g.pace.arrivals = p.arrivals
 	g.pace.think = p.think
@@ -524,7 +527,13 @@ func RunWorkload(c *Cluster, spec WorkloadSpec) (WorkloadResult, error) {
 	c.Eng.Run() // drain trailing traffic so counters are complete
 
 	deriveClosedLoopEligibility(spec, groups, eligible)
-	return collectWorkload(c, spec, plans, groups, eligible)
+	res, err := collectWorkload(c, spec, plans, groups, eligible)
+	if c.tr != nil {
+		// After collection, so the last live snapshot carries the
+		// span-fed latency histograms alongside the live counters.
+		c.tr.PublishFinal(c.Eng.Now())
+	}
+	return res, err
 }
 
 // allreduceContrib is the deterministic per-rank contribution workload
@@ -783,6 +792,9 @@ func runChurnPlans(c *Cluster, spec ChurnSpec, tenants []*churnTenant) (churnOut
 				return
 			}
 			tn.g = g
+			if c.tr != nil {
+				c.tr.BindGroupTenant(int(g.ID), tn.idx)
+			}
 			if tn.think != nil {
 				g.pace = pacer{eng: c.Eng, think: tn.think}
 				g.applyPace()
@@ -848,6 +860,9 @@ func runChurnPlans(c *Cluster, spec ChurnSpec, tenants []*churnTenant) (churnOut
 		return churnOutcome{}, failure
 	}
 	c.Eng.Run() // drain trailing teardown charges and wire traffic
+	if c.tr != nil {
+		c.tr.PublishFinal(c.Eng.Now())
+	}
 
 	out.completed = completed
 	out.lastDepart = lastDepart

@@ -111,7 +111,13 @@ func runWorkloadShard(c *Cluster, spec WorkloadSpec, plans []tenantPlan, s, part
 	c.DriveAll()
 	c.Eng.Run()
 	deriveClosedLoopEligibility(spec, groups, eligible)
-	return collectWorkload(c, spec, mine, groups, eligible)
+	res, err := collectWorkload(c, spec, mine, groups, eligible)
+	if c.tr != nil {
+		// Published from the shard goroutine — the scope's single
+		// writer — after collection emitted the spans.
+		c.tr.PublishFinal(c.Eng.Now())
+	}
+	return res, err
 }
 
 // mergeWorkload combines per-shard results deterministically: tenants

@@ -1,0 +1,17 @@
+package metricsrv
+
+import "testing"
+
+func TestPromEscape(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`a"b`, `a\"b`},
+		{"a\nb", `a\nb`},
+		{`a\b`, `a\\b`},
+		{"q\"\\\n", `q\"\\\n`},
+	} {
+		if got := promEscape(tc.in); got != tc.want {
+			t.Errorf("promEscape(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

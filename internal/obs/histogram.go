@@ -108,6 +108,44 @@ func (h *Histogram) Quantile(q float64) sim.Duration {
 	return sim.Duration(h.max)
 }
 
+// HistBin is one nonzero bucket of an exported histogram: the bucket's
+// midpoint value in nanoseconds and its count. Midpoints round-trip
+// exactly — re-recording a bucket's midpoint lands in the same bucket —
+// so exported bins merge histograms with no quantile drift.
+type HistBin struct {
+	V int64  `json:"v"` // bucket midpoint, nanoseconds
+	N uint64 `json:"n"` // observations in the bucket
+}
+
+// Bins exports the histogram's nonzero buckets in value order; nil for
+// an empty histogram.
+func (h *Histogram) Bins() []HistBin {
+	if h.n == 0 {
+		return nil
+	}
+	var out []HistBin
+	for i, c := range h.counts {
+		if c != 0 {
+			out = append(out, HistBin{V: histValue(i), N: c})
+		}
+	}
+	return out
+}
+
+// addBin records n observations of bucket-midpoint v without touching
+// the exact sum/max (the exported-snapshot merge restores those from
+// its own exact fields).
+func (h *Histogram) addBin(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, histBuckets)
+	}
+	h.counts[histBucket(v)] += n
+	h.n += n
+}
+
 // Merge folds other into h. Exactness of Mean/Max is preserved.
 func (h *Histogram) Merge(other *Histogram) {
 	if other.n == 0 {

@@ -114,6 +114,10 @@ const (
 	DropMidRoute                   // discarded mid-route by a per-hop impairment
 	DropRejected                   // discarded with reject semantics
 	DropFailStop                   // discarded because an endpoint fail-stop crashed
+
+	// dropReasons is the number of reasons, sizing the per-group
+	// breakdown array.
+	dropReasons = int(DropFailStop) + 1
 )
 
 // String implements fmt.Stringer.
@@ -197,21 +201,38 @@ func (t *Track) emit(rec Record) { t.ring.add(rec) }
 // counts, the latency histogram, and the queue/wire/NIC attribution
 // sums behind the latency-decomposition table.
 type groupStats struct {
-	kind    string // op label ("barrier", ...), set by the first span
-	ops     uint64
+	kind string // op label ("barrier", ...), set by the first span
+	ops  uint64
+	// done counts globally completed operations live (OpDone), so
+	// mid-run snapshots report progress before spans are emitted.
+	done    uint64
 	queueNS int64
 	wireNS  int64
 	nicNS   int64
 	sent    uint64
 	dropped uint64
-	lat     Histogram
+	// drops splits dropped by DropReason (indexed by the reason).
+	drops [dropReasons]uint64
+	// Recovery accounting, counted off the Lifecycle records.
+	timeouts  uint64
+	evictions uint64
+	retries   uint64
+	// tenant is the bound workload-wide tenant index plus one (0 means
+	// unbound), so sharded runs can merge one tenant's metrics across
+	// shard-local group IDs. See Scope.BindGroupTenant.
+	tenant int
+	lat    Histogram
 }
 
 // Scope is one simulated cluster's tracing domain: its tracks, its
 // engine counters, and its per-group metric accumulators. A Scope is
 // written by a single goroutine (the one driving its engine); distinct
-// scopes of one Tracer may run concurrently.
+// scopes of one Tracer may run concurrently. Mid-run reads go through
+// the publication machinery in live.go (Publish/Live); only at
+// quiescence may other goroutines read the accumulators directly.
 type Scope struct {
+	liveState
+
 	tr   *Tracer
 	name string
 	pid  int
@@ -307,7 +328,9 @@ func (s *Scope) PktDeliver(at sim.Time, src, dst, group int, kind string) {
 
 // PktDrop records a discard with its reason, on the source's track.
 func (s *Scope) PktDrop(at sim.Time, src, dst, group int, kind string, reason DropReason) {
-	s.group(group).dropped++
+	g := s.group(group)
+	g.dropped++
+	g.drops[reason]++
 	if src < 0 {
 		return
 	}
@@ -341,10 +364,15 @@ func (s *Scope) NICTime(group int, d sim.Duration) {
 
 // --- engine layer: sim.EventObserver ---
 
-// EventFired implements sim.EventObserver.
+// EventFired implements sim.EventObserver. It is also the metronome's
+// clock source: the check costs one comparison when the metronome is
+// disarmed and allocates nothing between ticks when armed.
 func (s *Scope) EventFired(at sim.Time) {
 	s.eventsFired++
 	s.EngineTrack().emit(Record{At: at, Kind: KindEventFired})
+	if s.metroEvery > 0 && at >= s.metroNext {
+		s.metroTick(at)
+	}
 }
 
 // EventCancelled implements sim.EventObserver.
@@ -380,12 +408,42 @@ func (s *Scope) OpSpan(gid int, opKind string, eligible, start, done sim.Time) {
 		Group: int32(gid), Label: opKind})
 }
 
+// OpDone counts one globally completed operation of group gid, live at
+// the completion instant. Workload engines emit full OpSpan records
+// only at collection time (closed-loop queue phases are derived after
+// the run), so OpDone is what lets a mid-run snapshot report progress.
+func (s *Scope) OpDone(gid int) {
+	s.group(gid).done++
+}
+
 // Lifecycle records a recovery-layer event for group gid on its tenant
 // track: a deadline expiry (KindOpTimeout, arg = stalled op sequence),
 // a member eviction (KindEvict, arg = evicted node ID) or a retried run
-// (KindRetry, arg = retry attempt number).
+// (KindRetry, arg = retry attempt number). The per-group counters
+// behind the snapshot's recovery breakdown accumulate here too.
 func (s *Scope) Lifecycle(at sim.Time, gid int, k Kind, arg int64) {
+	g := s.group(gid)
+	switch k {
+	case KindOpTimeout:
+		g.timeouts++
+	case KindEvict:
+		g.evictions++
+	case KindRetry:
+		g.retries++
+	}
 	s.TenantTrack(gid).emit(Record{At: at, Kind: k, Group: int32(gid), Arg: arg})
+}
+
+// BindGroupTenant labels group gid with its workload-wide tenant
+// index, so snapshots of sharded runs — where each shard numbers its
+// groups locally — can merge one tenant's metrics across scopes (see
+// Snapshot.MergeTenants). Binding is observational; rebinding
+// overwrites.
+func (s *Scope) BindGroupTenant(gid, tenant int) {
+	if tenant < 0 {
+		return
+	}
+	s.group(gid).tenant = tenant + 1
 }
 
 // GroupPhases reports the wire and NIC time attributed to group gid so
@@ -405,6 +463,9 @@ type Tracer struct {
 	mu       sync.Mutex
 	perTrack int
 	scopes   []*Scope
+	// metroEvery is the default metronome interval stamped onto newly
+	// created scopes; see Tracer.SetMetronome in live.go.
+	metroEvery sim.Duration
 }
 
 // defaultPerTrack is the per-track ring capacity: each track retains
@@ -430,6 +491,7 @@ func (tr *Tracer) NewScope(name string) *Scope {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	s := &Scope{tr: tr, name: name, pid: len(tr.scopes) + 1}
+	s.metroEvery = tr.metroEvery
 	tr.scopes = append(tr.scopes, s)
 	return s
 }

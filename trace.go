@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"nicbarrier/internal/obs"
+	"nicbarrier/internal/sim"
 )
 
 // Trace collects observability data from every cluster built with it:
@@ -71,5 +72,28 @@ func (t *Trace) DecompositionTable() string {
 
 // Snapshot returns the trace's metric state (per-scope counters and
 // per-group phase sums and latency histograms) for programmatic
-// consumption.
+// consumption. It reads the live accumulators, so call it only after
+// the traced runs have finished; while they run, use LiveSnapshot.
 func (t *Trace) Snapshot() obs.Snapshot { return t.tr.Snapshot() }
+
+// SetMetronome arms periodic live snapshot publication on every cluster
+// built with this trace afterwards: as each cluster's engine runs, its
+// scope publishes an epoch-stamped snapshot every everyMicros of
+// simulated time, readable mid-run through LiveSnapshot. Call it before
+// NewCluster — existing clusters are not rearmed. The metronome is
+// observational only (nothing is scheduled, no time is charged), so
+// virtual-time results stay bit-identical. 0 disarms.
+func (t *Trace) SetMetronome(everyMicros float64) {
+	t.tr.SetMetronome(sim.Micros(everyMicros))
+}
+
+// LiveSnapshot returns the most recently published state of every scope
+// that has published (see SetMetronome). Unlike Snapshot it is safe to
+// call from any goroutine while traced runs are in flight: it only
+// loads immutable published snapshots. Scopes that never published —
+// no metronome, or no engine activity yet — are omitted.
+func (t *Trace) LiveSnapshot() obs.Snapshot { return t.tr.LiveSnapshot() }
+
+// Tracer exposes the underlying collector, which the metrics service
+// (internal/metricsrv, cmd/simserve) serves snapshots from.
+func (t *Trace) Tracer() *obs.Tracer { return t.tr }
