@@ -14,6 +14,7 @@
 //
 //	barrier-bench -fig fig8a -fidelity paper -cpuprofile cpu.pprof
 //	barrier-bench -fig all -memprofile mem.pprof
+//	barrier-bench -fig shard-scale -memprofile heap.pprof  # 4k-64k footprint (CI artifact)
 package main
 
 import (

@@ -82,6 +82,10 @@ var knownUnits = map[string]bool{
 	// window counts.
 	"speedup": true,
 	"count":   true,
+	// Memory footprint per endpoint of a sharded run: live-heap growth
+	// divided by endpoint count. Host-side like wall time, so it rides
+	// in reports as informational rather than gating.
+	"B/ep": true,
 }
 
 // Validate checks the report is schema-compatible and internally

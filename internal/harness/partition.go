@@ -54,15 +54,14 @@ func partTenantScale(cfg Config) (tenants, nodes int) {
 }
 
 // shardScaleSweep maps the measurement config to the endpoint sweep of
-// the hierarchical barrier scenario. The quick tier tops out at 16,384
-// endpoints; the 65,536-endpoint point costs minutes of wall clock and
-// gigabytes of route-table state, so only paper fidelity pays for it.
+// the hierarchical barrier scenario. Quick and paper tiers both reach
+// the paper's 65,536-endpoint target: with closed-form routing the
+// point costs seconds and O(hosts) memory, where the dense memoized
+// route table needed ~11 minutes and ~52 GB of heap.
 func shardScaleSweep(cfg Config) []int {
 	switch {
-	case cfg.Iters >= PaperFidelity().Iters:
-		return []int{4096, 16384, 65536}
 	case cfg.Iters >= Quick().Iters:
-		return []int{4096, 16384}
+		return []int{4096, 16384, 65536}
 	default:
 		return []int{256, 1024}
 	}
@@ -171,15 +170,17 @@ type shardScalePoint struct {
 	lookaheadUS float64 // conservative window the run derived
 	windows     float64 // lookahead windows executed
 	wall        time.Duration
+	bytesPerEP  float64 // live-heap growth per endpoint (host-side)
 }
 
 // ShardScale is the endpoint sweep: a hierarchical global barrier
 // (intra-shard NIC-collective gather, log2(P) inter-shard rounds,
-// NIC broadcast release) over 4 shards. The quick sweep measures 4k
-// and 16k endpoints; paper fidelity extends to the 64k target.
-// Virtual-time latency, lookahead and window counts are deterministic;
-// wall time is informational. Points run sequentially to bound memory
-// (the 64k point holds four 16k-node clusters at once).
+// NIC broadcast release) over 4 shards. Quick and paper sweeps both
+// measure 4k, 16k and the paper's 64k target. Virtual-time latency,
+// lookahead and window counts are deterministic; wall time and the
+// bytes-per-endpoint footprint are informational (host-side). Points
+// run sequentially to bound memory (the 64k point holds four 16k-node
+// clusters at once).
 func ShardScale(cfg Config) Figure {
 	sweep := shardScaleSweep(cfg)
 	pts := make([]shardScalePoint, len(sweep))
@@ -196,6 +197,7 @@ func ShardScale(cfg Config) Figure {
 			lookaheadUS: res.Lookahead.Micros(),
 			windows:     float64(res.Windows),
 			wall:        res.WallTime,
+			bytesPerEP:  float64(res.MemBytes) / float64(n),
 		}
 	}
 	series := func(name, unit string, val func(shardScalePoint) float64) Series {
@@ -215,6 +217,7 @@ func ShardScale(cfg Config) Figure {
 			series("Lookahead", "sim_us", func(sp shardScalePoint) float64 { return sp.lookaheadUS }),
 			series("Windows", "count", func(sp shardScalePoint) float64 { return sp.windows }),
 			series("Wall-ns", "ns/op", func(sp shardScalePoint) float64 { return float64(sp.wall) }),
+			series("Bytes-per-endpoint", "B/ep", func(sp shardScalePoint) float64 { return sp.bytesPerEP }),
 		},
 		Notes: []string{
 			"each shard is a full-fidelity Myrinet sub-cluster on its own engine; shards sync only through",

@@ -202,11 +202,19 @@ type Counters struct {
 // Network binds a topology to physical parameters and attached receivers.
 //
 // The per-packet path is allocation-free in steady state: delivery is
-// dispatched through pooled packet events (no closures), routes come
-// memoized from the topology, packet kinds are interned to dense
-// counter indices, and multicast bookkeeping lives in epoch-stamped
-// scratch arrays. The string-keyed ByKind map exists only in the
-// Counters() snapshot.
+// dispatched through pooled packet events (no closures), routes are
+// composed in closed form into the topology's shared scratch buffer,
+// packet kinds are interned to dense counter indices, and multicast
+// bookkeeping lives in epoch-stamped scratch arrays. The string-keyed
+// ByKind map exists only in the Counters() snapshot.
+//
+// Route-slice lifetime: a slice returned by topo.Route is only valid
+// until the next Route call on the same topology, so every route here
+// is consumed before anything can re-enter Route. That discipline
+// holds even under reentrancy — an impairment's OnReject callback may
+// Send or Multicast inline (a NACK turnaround), nesting a Route call
+// inside a hop walk — because both walk sites stop touching the route
+// the moment they record the drop that triggers the callback.
 type Network struct {
 	eng       *sim.Engine
 	topo      topo.Topology
@@ -480,7 +488,9 @@ func (n *Network) Send(pkt Packet) {
 }
 
 // transmit walks the route and schedules delivery unless a per-hop
-// impairment discards the packet mid-route.
+// impairment discards the packet mid-route. The route lives in the
+// topology's scratch buffer; headArrival finishes with it before any
+// reentrant Send can overwrite it (see the Network comment).
 func (n *Network) transmit(pkt Packet) {
 	arrival, ok := n.headArrival(pkt, n.topo.Route(pkt.Src, pkt.Dst))
 	if !ok {
@@ -623,6 +633,9 @@ func (n *Network) multicastBody(pkt Packet, dsts []int) {
 		p := pkt
 		p.Dst = dst
 		t := n.eng.Now()
+		// Scratch-backed route: each recordDrop below may re-enter
+		// Route through an inline OnReject, so the walk must (and does)
+		// abandon the slice immediately after recording the drop.
 		route := n.topo.Route(pkt.Src, dst)
 		lost := false
 		for i, link := range route {

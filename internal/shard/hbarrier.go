@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"nicbarrier/internal/barrier"
@@ -33,6 +34,12 @@ type HierResult struct {
 	DoneAt       []sim.Time   // global completion time per iteration
 	MeanLatency  sim.Duration // mean per-iteration latency over the measured window
 	WallTime     time.Duration
+	// MemBytes is the live-heap growth across building and running the
+	// whole simulation (topologies, sub-clusters, engines, runner),
+	// measured by GC-settled HeapAlloc deltas. Divided by Nodes it is
+	// the footprint-per-endpoint figure the shard-scale sweep gates;
+	// like WallTime it is a host-side quantity, not virtual time.
+	MemBytes uint64
 }
 
 // hierToken is the payload of one inter-shard dissemination message:
@@ -103,6 +110,10 @@ func MeasureHierBarrier(spec HierSpec) HierResult {
 	if spec.Iters < 1 || spec.Warmup < 0 {
 		panic(fmt.Sprintf("shard: hier barrier warmup %d iters %d", spec.Warmup, spec.Iters))
 	}
+	var m0 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+
 	h := &hier{
 		spec:   spec,
 		plan:   NewPlan(spec.Nodes, spec.Parts),
@@ -128,6 +139,18 @@ func MeasureHierBarrier(spec HierSpec) HierResult {
 		panic(fmt.Sprintf("shard: hier barrier stalled (%d nodes, %d parts)", spec.Nodes, spec.Parts))
 	}
 
+	// Live-heap growth across construction + run. GC first so the delta
+	// counts what this simulation keeps alive, not garbage from before
+	// or during it. h must stay reachable across the GC for the
+	// measurement to mean anything; it does — the result is read below.
+	var m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	var memBytes uint64
+	if m1.HeapAlloc > m0.HeapAlloc {
+		memBytes = m1.HeapAlloc - m0.HeapAlloc
+	}
+
 	done := make([]sim.Time, h.total)
 	for i := range done {
 		for _, sh := range h.shards {
@@ -149,6 +172,7 @@ func MeasureHierBarrier(spec HierSpec) HierResult {
 		DoneAt:      done,
 		MeanLatency: done[h.total-1].Sub(from) / sim.Duration(spec.Iters),
 		WallTime:    wall,
+		MemBytes:    memBytes,
 	}
 }
 

@@ -1,7 +1,7 @@
 package shard
 
 import (
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"nicbarrier/internal/sim"
@@ -63,15 +63,23 @@ func (q *Queue) Drain(buf []Msg) []Msg {
 	for ; n != nil; n = n.next {
 		buf = append(buf, n.msg)
 	}
-	sort.Slice(buf, func(i, j int) bool {
-		a, b := buf[i], buf[j]
+	slices.SortFunc(buf, func(a, b Msg) int {
 		if a.From != b.From {
-			return a.From < b.From
+			return a.From - b.From
 		}
 		if a.At != b.At {
-			return a.At < b.At
+			if a.At < b.At {
+				return -1
+			}
+			return 1
 		}
-		return a.Seq < b.Seq
+		switch {
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		}
+		return 0
 	})
 	return buf
 }

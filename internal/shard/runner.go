@@ -3,23 +3,38 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nicbarrier/internal/sim"
 )
 
 // Runner drives one sim.Engine per shard through conservative
 // lookahead windows. Each window [W, W+L) — L being the lookahead —
-// runs every shard's engine concurrently on its own goroutine; the
-// conservative invariant (no cross-shard message can be delivered
-// inside the window it was sent in) means the shards cannot observe
-// each other mid-window, so the parallelism is free of both data races
-// and result races. At the window barrier the coordinator drains every
-// inbound queue — fixing the batch of messages each shard sees at that
-// barrier independently of goroutine timing — and then computes the
-// next window start as the minimum over all shards of the next
-// pending event or message time, so idle stretches of virtual time are
-// skipped in one jump rather than stepped through L nanoseconds at a
-// time.
+// runs the engines of all participating shards concurrently, one
+// persistent worker goroutine per shard; the conservative invariant
+// (no cross-shard message can be delivered inside the window it was
+// sent in) means the shards cannot observe each other mid-window, so
+// the parallelism is free of both data races and result races. At the
+// window barrier the coordinator drains every non-empty inbound queue
+// — fixing the batch of messages each shard sees at that barrier
+// independently of goroutine timing — and then computes the next
+// window start as the minimum over all shards of the next pending
+// event or message time, so idle stretches of virtual time are skipped
+// in one jump rather than stepped through L nanoseconds at a time.
+//
+// Workers are spawned once per Run and woken per window through a
+// 1-slot channel carrying the window end, rather than re-spawning a
+// goroutine per shard per window: at 64k endpoints a run executes
+// hundreds of windows, and the spawn/teardown churn (stack setup,
+// scheduler handoff, WaitGroup traffic for provably idle shards) was
+// measurable wall-clock. A shard with no drained messages and no
+// engine event before the window end is not woken at all — its
+// engine's earliest-event time is cached at the barrier by its worker,
+// so the coordinator's min scan costs one comparison for an idle
+// shard. Skipping the wake leaves the idle engine's clock behind the
+// global window edge; that is unobservable, because handlers only read
+// their engine's clock inside event context (where it equals the event
+// time) and cross-shard deliveries are scheduled at absolute times.
 //
 // A Runner is not safe for concurrent use by multiple coordinators;
 // Send is safe exactly where the model needs it to be: from shard
@@ -29,8 +44,9 @@ type Runner struct {
 	winEnd sim.Time // end of the window currently (or last) executed
 	shards []runnerShard
 
-	windows   uint64
-	delivered uint64
+	windows uint64
+	wg      sync.WaitGroup // window acks: one Done per woken worker
+	workers sync.WaitGroup // worker lifetimes; Run exits leak-free
 }
 
 type runnerShard struct {
@@ -39,6 +55,27 @@ type runnerShard struct {
 	in      Queue
 	seq     uint64 // per-source sequence; touched only by this shard's goroutine
 	pending []Msg  // barrier-drained batch, reused across windows
+
+	// wake carries the window end to this shard's persistent worker.
+	// Capacity 1 so the coordinator never blocks: the worker has always
+	// consumed the previous wake before the barrier completes.
+	wake chan sim.Time
+
+	// nextAt/hasNext cache eng.NextAt() between windows. The worker
+	// refreshes them after RunUntil; the coordinator reads them at the
+	// barrier (when no worker is running) and skips waking shards whose
+	// next event lies at or beyond the window end. An engine is only
+	// mutated by its own worker, so the cache of a skipped shard stays
+	// valid across any number of windows.
+	nextAt  sim.Time
+	hasNext bool
+
+	// delivered counts messages actually handed to deliver, incremented
+	// immediately before each callback on the worker goroutine — so
+	// Delivered() read from inside a deliver callback already includes
+	// the message being delivered, and never counts a drained-but-not-
+	// yet-delivered batch.
+	delivered atomic.Uint64
 }
 
 // NewRunner builds a runner over one engine per shard. lookahead must
@@ -57,7 +94,9 @@ func NewRunner(lookahead sim.Duration, engines []*sim.Engine, deliver func(shard
 	r := &Runner{look: lookahead, shards: make([]runnerShard, len(engines))}
 	for i, e := range engines {
 		i := i
-		r.shards[i] = runnerShard{eng: e, deliver: func(m Msg) { deliver(i, m) }}
+		sh := &r.shards[i]
+		sh.eng = e
+		sh.deliver = func(m Msg) { deliver(i, m) }
 	}
 	return r
 }
@@ -69,8 +108,16 @@ func (r *Runner) Lookahead() sim.Duration { return r.look }
 func (r *Runner) Windows() uint64 { return r.windows }
 
 // Delivered reports how many cross-shard messages have been handed to
-// deliver callbacks.
-func (r *Runner) Delivered() uint64 { return r.delivered }
+// deliver callbacks. Counting happens at delivery, so a read from
+// inside a deliver callback sees the in-flight message already counted
+// and none of the batch still queued behind it.
+func (r *Runner) Delivered() uint64 {
+	var n uint64
+	for i := range r.shards {
+		n += r.shards[i].delivered.Load()
+	}
+	return n
+}
 
 // Send queues a cross-shard message from shard `from` to shard `to`,
 // to take effect at virtual time `at` on the destination. It must be
@@ -89,12 +136,49 @@ func (r *Runner) Send(from, to int, at sim.Time, node int, data any) {
 	r.shards[to].in.Push(Msg{From: from, At: at, Seq: sh.seq, Node: node, Data: data})
 }
 
+// worker is one shard's persistent goroutine: deliver the barrier-fixed
+// batch, run the engine through the window, refresh the next-event
+// cache, ack. It exits when the coordinator closes the wake channel at
+// the end of Run.
+func (r *Runner) worker(sh *runnerShard) {
+	defer r.workers.Done()
+	for end := range sh.wake {
+		for _, m := range sh.pending {
+			sh.delivered.Add(1)
+			sh.deliver(m)
+		}
+		sh.pending = sh.pending[:0]
+		// RunUntil is inclusive, so end-1 keeps the window half-open:
+		// events at exactly `end` belong to the next window.
+		sh.eng.RunUntil(end - 1)
+		sh.nextAt, sh.hasNext = sh.eng.NextAt()
+		r.wg.Done()
+	}
+}
+
 // Run executes windows until no shard has pending events or messages,
 // or until stop (checked at every barrier; nil means never) reports
-// true. Each barrier: drain queues, pick the earliest next event or
-// message time W across shards, run every shard to W+lookahead-1 in
-// parallel, repeat.
+// true. Each barrier: drain non-empty queues, pick the earliest next
+// event or message time W across shards (cached next-event times make
+// an idle shard one comparison), wake the workers of shards with work
+// before W+lookahead, wait for their acks, repeat.
 func (r *Runner) Run(stop func() bool) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.wake = make(chan sim.Time, 1)
+		// Prime the next-event cache: the harness may have scheduled
+		// events directly on the engines since the previous Run.
+		sh.nextAt, sh.hasNext = sh.eng.NextAt()
+		r.workers.Add(1)
+		go r.worker(sh)
+	}
+	defer func() {
+		for i := range r.shards {
+			close(r.shards[i].wake)
+		}
+		r.workers.Wait()
+	}()
+
 	for {
 		if stop != nil && stop() {
 			return
@@ -107,16 +191,17 @@ func (r *Runner) Run(stop func() bool) {
 		var next sim.Time
 		for i := range r.shards {
 			sh := &r.shards[i]
-			sh.pending = sh.in.Drain(sh.pending)
+			if !sh.in.Empty() {
+				sh.pending = sh.in.Drain(sh.pending)
+			}
 			for _, m := range sh.pending {
 				if !haveWork || m.At < next {
 					haveWork, next = true, m.At
 				}
 			}
-			if t, ok := sh.eng.NextAt(); ok && (!haveWork || t < next) {
-				haveWork, next = true, t
+			if sh.hasNext && (!haveWork || sh.nextAt < next) {
+				haveWork, next = true, sh.nextAt
 			}
-			r.delivered += uint64(len(sh.pending))
 		}
 		if !haveWork {
 			return
@@ -125,22 +210,14 @@ func (r *Runner) Run(stop func() bool) {
 		r.winEnd = end
 		r.windows++
 
-		var wg sync.WaitGroup
-		wg.Add(len(r.shards))
 		for i := range r.shards {
 			sh := &r.shards[i]
-			go func() {
-				defer wg.Done()
-				for _, m := range sh.pending {
-					sh.deliver(m)
-				}
-				sh.pending = sh.pending[:0]
-				// RunUntil is inclusive, so end-1 keeps the window
-				// half-open: events at exactly `end` belong to the next
-				// window.
-				sh.eng.RunUntil(end - 1)
-			}()
+			if len(sh.pending) == 0 && !(sh.hasNext && sh.nextAt < end) {
+				continue // idle this window: nothing to deliver or run
+			}
+			r.wg.Add(1)
+			sh.wake <- end
 		}
-		wg.Wait()
+		r.wg.Wait()
 	}
 }

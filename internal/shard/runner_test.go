@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"nicbarrier/internal/sim"
+)
+
+// TestDeliveredCountsAtDelivery is the regression test for a counting
+// bug: Delivered used to be bumped by the whole drained batch during
+// the barrier phase, before any message had been handed to deliver, so
+// a callback observing the counter saw messages that had not happened
+// yet. The counter must tick once per message, immediately before its
+// callback.
+func TestDeliveredCountsAtDelivery(t *testing.T) {
+	engines := []*sim.Engine{sim.NewEngine()}
+	var seen []uint64
+	var r *Runner
+	r = NewRunner(10, engines, func(int, Msg) {
+		seen = append(seen, r.Delivered())
+	})
+	// Inject a batch directly: the queue is drained in one barrier, so
+	// all three messages are delivered back to back in one window.
+	for i := uint64(1); i <= 3; i++ {
+		r.shards[0].in.Push(Msg{From: 0, At: sim.Time(100 * i), Seq: i})
+	}
+	r.Run(nil)
+	if len(seen) != 3 {
+		t.Fatalf("delivered %d messages, want 3", len(seen))
+	}
+	for i, got := range seen {
+		if want := uint64(i + 1); got != want {
+			t.Fatalf("callback %d observed Delivered()=%d, want %d (batch counted before delivery?)",
+				i, got, want)
+		}
+	}
+	if r.Delivered() != 3 {
+		t.Fatalf("final Delivered()=%d, want 3", r.Delivered())
+	}
+}
+
+// TestSendLookaheadViolationMessage pins the panic's diagnostic
+// content: a lookahead violation must name both shards, the offending
+// time, and the window end — it fires deep inside a parallel run,
+// where a bare panic would be undebuggable.
+func TestSendLookaheadViolationMessage(t *testing.T) {
+	engines := []*sim.Engine{sim.NewEngine(), sim.NewEngine()}
+	r := NewRunner(100, engines, func(int, Msg) {})
+	engines[0].Schedule(0, func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Error("Send inside the window did not panic")
+			} else if s, ok := v.(string); !ok || !strings.Contains(s, "lookahead violation") ||
+				!strings.Contains(s, "0→1") {
+				t.Errorf("panic %v does not identify the violation", v)
+			}
+			engines[0].Stop()
+		}()
+		r.Send(0, 1, 50, 0, nil) // window is [0, 100); arrival at 50 violates
+	})
+	r.Run(nil)
+}
+
+// TestQueueDrainReusesBuffer pins Drain's buffer contract: a buf with
+// enough capacity is refilled in place (no allocation per barrier),
+// and an undersized buf grows without losing or misordering messages.
+func TestQueueDrainReusesBuffer(t *testing.T) {
+	var q Queue
+	buf := make([]Msg, 1, 8)
+	probe := &buf[0]
+	for i := uint64(3); i > 0; i-- {
+		q.Push(Msg{From: 0, At: sim.Time(i), Seq: i})
+	}
+	got := q.Drain(buf)
+	if &got[0] != probe {
+		t.Fatal("Drain did not reuse the caller's buffer despite sufficient capacity")
+	}
+	if len(got) != 3 || cap(got) != 8 {
+		t.Fatalf("got len %d cap %d, want len 3 cap 8", len(got), cap(got))
+	}
+	for i := range got {
+		if got[i].At != sim.Time(i+1) {
+			t.Fatalf("message %d at %v, want %v", i, got[i].At, sim.Time(i+1))
+		}
+	}
+
+	// Growth: five messages through a two-slot buffer.
+	small := make([]Msg, 0, 2)
+	for i := uint64(5); i > 0; i-- {
+		q.Push(Msg{From: 0, At: sim.Time(i), Seq: i})
+	}
+	grown := q.Drain(small)
+	if len(grown) != 5 {
+		t.Fatalf("drained %d messages through undersized buffer, want 5", len(grown))
+	}
+	for i := range grown {
+		if grown[i].At != sim.Time(i+1) {
+			t.Fatalf("grown drain out of order at %d: %v", i, grown[i].At)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+// benchTick is a self-rescheduling engine event: each firing schedules
+// the next one `gap` later until the chain runs out. Pre-allocated so
+// the steady state allocates nothing.
+type benchTick struct {
+	eng  *sim.Engine
+	gap  sim.Duration
+	left int
+}
+
+func (t *benchTick) Fire() {
+	if t.left > 0 {
+		t.left--
+		t.eng.AfterEvent(t.gap, t)
+	}
+}
+
+// BenchmarkRunnerWindow measures the per-window cost of the runner's
+// barrier protocol — wake, engine window, next-event cache refresh,
+// ack — with one active shard and three idle ones, so both the
+// persistent-worker path and the idle-skip path are on the clock. The
+// tick gap exceeds the lookahead, forcing every event into its own
+// window. Gated at 0 allocs/op in CI: the window protocol itself must
+// not allocate (the per-Run wake channels amortize to zero across b.N
+// windows).
+func BenchmarkRunnerWindow(b *testing.B) {
+	const parts = 4
+	engines := make([]*sim.Engine, parts)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+	}
+	r := NewRunner(100, engines, func(int, Msg) {})
+	tick := &benchTick{eng: engines[0], gap: 1000, left: b.N}
+	engines[0].ScheduleEvent(0, tick)
+	// Idle shards with a far-future event each: their cached next-event
+	// times are scanned at every barrier but never wake a worker until
+	// the chain is exhausted.
+	for _, e := range engines[1:] {
+		e.Schedule(sim.Time(int64(b.N+1)*1000+1), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	r.Run(nil)
+}

@@ -8,12 +8,17 @@
 // The network simulator (internal/netsim) keeps per-link occupancy state
 // keyed by these IDs, which is how output-port contention is modeled.
 //
-// Routing is deterministic, so Route answers are memoized: the slice a
-// topology returns is cached and shared across calls — callers must
-// treat it as read-only. Memoization makes routing allocation-free in
-// steady state (the wire simulator's per-packet hot path), and it makes
-// a topology single-goroutine state, like the network that owns it:
-// do not share one topology between concurrently running simulations.
+// Routing is deterministic and computed in closed form: link IDs are
+// arithmetic functions of their endpoints, so Route composes each
+// answer into a small per-topology scratch buffer instead of memoizing
+// O(hosts²) route rows. That keeps warm Route allocation-free (the wire
+// simulator's per-packet hot path) at O(hosts) memory, which is what
+// makes 64k-endpoint clusters feasible. The returned slice is shared
+// scratch: callers must treat it as read-only and consume it before the
+// next Route call on the same topology — the next call overwrites it.
+// As before, a topology is single-goroutine state, like the network
+// that owns it: do not share one topology between concurrently running
+// simulations.
 package topo
 
 import "fmt"
@@ -29,8 +34,11 @@ type Topology interface {
 	LinkCount() int
 	// Route returns the directed link IDs traversed from src to dst,
 	// in order. Routing is deterministic. src == dst returns nil.
-	// The returned slice is memoized and shared: callers must not
-	// modify it.
+	// The returned slice is the topology's shared route scratch:
+	// callers must not modify it and must not hold it across a
+	// subsequent Route call on the same topology, which overwrites it.
+	// The slice's backing array is stable, so repeated calls for the
+	// same pair return identical contents at the same base address.
 	Route(src, dst int) []int
 	// SwitchHops reports how many switches a packet from src to dst
 	// traverses (0 when src == dst).
@@ -51,43 +59,14 @@ func checkHostRange(t Topology, src, dst int) {
 	}
 }
 
-// routeTable memoizes Route answers per (src, dst) pair. Rows are
-// materialized lazily on a source's first routing query, so an n-rank
-// group simulated on a much larger cluster only pays for the sources it
-// actually uses; within a row, each destination's route is built once
-// by the topology's routing function and shared forever after.
-type routeTable struct {
-	hosts int
-	rows  [][][]int // [src][dst] -> cached route, rows allocated lazily
-	build func(src, dst int) []int
-}
-
-func newRouteTable(hosts int, build func(src, dst int) []int) routeTable {
-	return routeTable{hosts: hosts, rows: make([][][]int, hosts), build: build}
-}
-
-// route returns the cached route for src != dst, building it on first
-// use. Callers handle the src == dst nil-route case.
-func (rt *routeTable) route(src, dst int) []int {
-	row := rt.rows[src]
-	if row == nil {
-		row = make([][]int, rt.hosts)
-		rt.rows[src] = row
-	}
-	if r := row[dst]; r != nil {
-		return r
-	}
-	r := rt.build(src, dst)
-	row[dst] = r
-	return r
-}
-
 // Crossbar is a single wormhole crossbar switch with H host ports — the
 // Myrinet-2000 configuration for the paper's 8- and 16-node clusters
 // (one 16-port switch).
 type Crossbar struct {
-	hosts  int
-	routes routeTable
+	hosts int
+	// scratch backs Route answers; a crossbar route is always the
+	// source uplink followed by the destination downlink.
+	scratch [2]int
 }
 
 // NewCrossbar builds a single-switch topology with the given number of
@@ -96,9 +75,7 @@ func NewCrossbar(hosts int) *Crossbar {
 	if hosts < 1 {
 		panic("topo: crossbar needs at least one host")
 	}
-	c := &Crossbar{hosts: hosts}
-	c.routes = newRouteTable(hosts, c.buildRoute)
-	return c
+	return &Crossbar{hosts: hosts}
 }
 
 func (c *Crossbar) Name() string { return fmt.Sprintf("crossbar-%d", c.hosts) }
@@ -116,11 +93,8 @@ func (c *Crossbar) Route(src, dst int) []int {
 	if src == dst {
 		return nil
 	}
-	return c.routes.route(src, dst)
-}
-
-func (c *Crossbar) buildRoute(src, dst int) []int {
-	return []int{2 * src, 2*dst + 1}
+	c.scratch[0], c.scratch[1] = 2*src, 2*dst+1
+	return c.scratch[:]
 }
 
 func (c *Crossbar) SwitchHops(src, dst int) int {
